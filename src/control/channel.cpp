@@ -1,0 +1,100 @@
+#include "control/channel.h"
+
+#include <stdexcept>
+
+namespace ndb::control {
+
+Response dispatch(RuntimeApi& device, const Request& request) {
+    Response resp;
+    std::visit(
+        [&](const auto& req) {
+            using T = std::decay_t<decltype(req)>;
+            if constexpr (std::is_same_v<T, AddEntryReq>) {
+                resp.status = device.add_entry(req.table, req.entry);
+            } else if constexpr (std::is_same_v<T, DeleteEntryReq>) {
+                resp.status = device.delete_entry(req.table, req.entry);
+            } else if constexpr (std::is_same_v<T, SetDefaultReq>) {
+                resp.status = device.set_default_action(req.table, req.action, req.args);
+            } else if constexpr (std::is_same_v<T, ClearTableReq>) {
+                resp.status = device.clear_table(req.table);
+            } else if constexpr (std::is_same_v<T, WriteRegisterReq>) {
+                resp.status = device.write_register(req.name, req.index, req.value);
+            } else if constexpr (std::is_same_v<T, ReadRegisterReq>) {
+                resp.status = device.read_register(req.name, req.index,
+                                                   resp.register_value);
+            } else if constexpr (std::is_same_v<T, ReadCounterReq>) {
+                resp.status = device.read_counter(req.name, req.index,
+                                                  resp.counter_value);
+            } else if constexpr (std::is_same_v<T, ConfigureMeterReq>) {
+                resp.status = device.configure_meter(req.name, req.index, req.config);
+            } else if constexpr (std::is_same_v<T, SnapshotReq>) {
+                resp.snapshot = device.snapshot();
+            } else if constexpr (std::is_same_v<T, ResetReq>) {
+                resp.status = device.reset_state();
+            }
+        },
+        request);
+    return resp;
+}
+
+Response Channel::transact(const Request& request) {
+    if (!handler_) {
+        Response resp;
+        resp.status = Status::failure("control channel not bound to a device");
+        return resp;
+    }
+    ++requests_;
+    return handler_(request);
+}
+
+Status RuntimeClient::add_entry(const std::string& table, const EntrySpec& entry) {
+    return channel_.transact(AddEntryReq{table, entry}).status;
+}
+
+Status RuntimeClient::delete_entry(const std::string& table, const EntrySpec& entry) {
+    return channel_.transact(DeleteEntryReq{table, entry}).status;
+}
+
+Status RuntimeClient::set_default_action(const std::string& table,
+                                         const std::string& action,
+                                         const std::vector<Bitvec>& args) {
+    return channel_.transact(SetDefaultReq{table, action, args}).status;
+}
+
+Status RuntimeClient::clear_table(const std::string& table) {
+    return channel_.transact(ClearTableReq{table}).status;
+}
+
+Status RuntimeClient::write_register(const std::string& name, std::uint64_t index,
+                                     const Bitvec& value) {
+    return channel_.transact(WriteRegisterReq{name, index, value}).status;
+}
+
+Status RuntimeClient::read_register(const std::string& name, std::uint64_t index,
+                                    Bitvec& out) {
+    Response resp = channel_.transact(ReadRegisterReq{name, index});
+    out = resp.register_value;
+    return resp.status;
+}
+
+Status RuntimeClient::read_counter(const std::string& name, std::uint64_t index,
+                                   CounterValue& out) {
+    Response resp = channel_.transact(ReadCounterReq{name, index});
+    out = resp.counter_value;
+    return resp.status;
+}
+
+Status RuntimeClient::configure_meter(const std::string& name, std::uint64_t index,
+                                      const MeterConfig& config) {
+    return channel_.transact(ConfigureMeterReq{name, index, config}).status;
+}
+
+StatusSnapshot RuntimeClient::snapshot() {
+    return channel_.transact(SnapshotReq{}).snapshot;
+}
+
+Status RuntimeClient::reset_state() {
+    return channel_.transact(ResetReq{}).status;
+}
+
+}  // namespace ndb::control

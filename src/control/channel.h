@@ -1,0 +1,121 @@
+// Message-based control channel.
+//
+// Models the paper's dedicated host<->device management interface: requests
+// are explicit messages, a device-side dispatcher executes them against a
+// RuntimeApi, and RuntimeClient gives the host tool the same typed API over
+// the channel.  Keeping the wire format explicit lets tests fault the link
+// and lets the channel be logged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "control/runtime.h"
+
+namespace ndb::control {
+
+// --- request messages ---------------------------------------------------------
+
+struct AddEntryReq {
+    std::string table;
+    EntrySpec entry;
+};
+struct DeleteEntryReq {
+    std::string table;
+    EntrySpec entry;
+};
+struct SetDefaultReq {
+    std::string table;
+    std::string action;
+    std::vector<Bitvec> args;
+};
+struct ClearTableReq {
+    std::string table;
+};
+struct WriteRegisterReq {
+    std::string name;
+    std::uint64_t index = 0;
+    Bitvec value;
+};
+struct ReadRegisterReq {
+    std::string name;
+    std::uint64_t index = 0;
+};
+struct ReadCounterReq {
+    std::string name;
+    std::uint64_t index = 0;
+};
+struct ConfigureMeterReq {
+    std::string name;
+    std::uint64_t index = 0;
+    MeterConfig config;
+};
+struct SnapshotReq {};
+struct ResetReq {};
+
+using Request = std::variant<AddEntryReq, DeleteEntryReq, SetDefaultReq,
+                             ClearTableReq, WriteRegisterReq, ReadRegisterReq,
+                             ReadCounterReq, ConfigureMeterReq, SnapshotReq,
+                             ResetReq>;
+
+// --- response -------------------------------------------------------------------
+
+struct Response {
+    Status status;
+    Bitvec register_value;       // ReadRegisterReq
+    CounterValue counter_value;  // ReadCounterReq
+    StatusSnapshot snapshot;     // SnapshotReq
+};
+
+// Executes one request against a device runtime.
+Response dispatch(RuntimeApi& device, const Request& request);
+
+// In-process request/response channel with observable traffic counters.
+class Channel {
+public:
+    using Handler = std::function<Response(const Request&)>;
+
+    // Binds the device side of the channel.
+    void bind(Handler handler) { handler_ = std::move(handler); }
+
+    // Host side: send a request, wait for the response (synchronous model).
+    Response transact(const Request& request);
+
+    std::uint64_t requests_sent() const { return requests_; }
+
+private:
+    Handler handler_;
+    std::uint64_t requests_ = 0;
+};
+
+// RuntimeApi implementation that tunnels every call through a Channel,
+// giving the host tool location transparency.
+class RuntimeClient final : public RuntimeApi {
+public:
+    explicit RuntimeClient(Channel& channel) : channel_(channel) {}
+
+    Status add_entry(const std::string& table, const EntrySpec& entry) override;
+    Status delete_entry(const std::string& table, const EntrySpec& entry) override;
+    Status set_default_action(const std::string& table, const std::string& action,
+                              const std::vector<Bitvec>& args) override;
+    Status clear_table(const std::string& table) override;
+    Status write_register(const std::string& name, std::uint64_t index,
+                          const Bitvec& value) override;
+    Status read_register(const std::string& name, std::uint64_t index,
+                         Bitvec& out) override;
+    Status read_counter(const std::string& name, std::uint64_t index,
+                        CounterValue& out) override;
+    Status configure_meter(const std::string& name, std::uint64_t index,
+                           const MeterConfig& config) override;
+    StatusSnapshot snapshot() override;
+    Status reset_state() override;
+
+private:
+    Channel& channel_;
+};
+
+}  // namespace ndb::control

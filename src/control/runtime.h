@@ -1,0 +1,75 @@
+// Control-plane runtime API.
+//
+// This is the management surface a host tool uses to program and inspect a
+// device: table entries, default actions, registers, counters, meters and
+// the status snapshot.  Devices implement it directly; RuntimeClient speaks
+// it over the message channel (the paper's "dedicated interface").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/snapshot.h"
+#include "util/bitvec.h"
+
+namespace ndb::control {
+
+using util::Bitvec;
+
+struct Status {
+    bool ok = true;
+    std::string message;
+
+    static Status success() { return {}; }
+    static Status failure(std::string msg) { return {false, std::move(msg)}; }
+    explicit operator bool() const { return ok; }
+};
+
+// Control-plane view of a table entry, with names instead of ids.
+struct EntrySpec {
+    std::vector<Bitvec> key_values;
+    std::vector<Bitvec> key_masks;   // ternary
+    int prefix_len = -1;             // lpm
+    int priority = 0;                // ternary
+    std::string action;
+    std::vector<Bitvec> action_args;
+};
+
+struct CounterValue {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+};
+
+struct MeterConfig {
+    double committed_rate_bps = 0;     // bytes per second
+    std::uint64_t committed_burst = 0;
+    double excess_rate_bps = 0;
+    std::uint64_t excess_burst = 0;
+};
+
+class RuntimeApi {
+public:
+    virtual ~RuntimeApi() = default;
+
+    virtual Status add_entry(const std::string& table, const EntrySpec& entry) = 0;
+    virtual Status delete_entry(const std::string& table, const EntrySpec& entry) = 0;
+    virtual Status set_default_action(const std::string& table,
+                                      const std::string& action,
+                                      const std::vector<Bitvec>& args) = 0;
+    virtual Status clear_table(const std::string& table) = 0;
+
+    virtual Status write_register(const std::string& name, std::uint64_t index,
+                                  const Bitvec& value) = 0;
+    virtual Status read_register(const std::string& name, std::uint64_t index,
+                                 Bitvec& out) = 0;
+    virtual Status read_counter(const std::string& name, std::uint64_t index,
+                                CounterValue& out) = 0;
+    virtual Status configure_meter(const std::string& name, std::uint64_t index,
+                                   const MeterConfig& config) = 0;
+
+    virtual StatusSnapshot snapshot() = 0;
+    virtual Status reset_state() = 0;
+};
+
+}  // namespace ndb::control

@@ -1,0 +1,69 @@
+#include "control/snapshot.h"
+
+#include "util/strings.h"
+
+namespace ndb::control {
+
+std::string StatusSnapshot::to_string() const {
+    std::string s = util::format(
+        "status @%llu ns\n"
+        "  parser: in=%llu accepted=%llu rejected=%llu errors=%llu\n"
+        "  drops: ingress=%llu egress=%llu  forwarded=%llu\n",
+        static_cast<unsigned long long>(taken_at_ns),
+        static_cast<unsigned long long>(stages.parser_in),
+        static_cast<unsigned long long>(stages.parser_accepted),
+        static_cast<unsigned long long>(stages.parser_rejected),
+        static_cast<unsigned long long>(stages.parser_errors),
+        static_cast<unsigned long long>(stages.ingress_dropped),
+        static_cast<unsigned long long>(stages.egress_dropped),
+        static_cast<unsigned long long>(stages.forwarded));
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+        const auto& p = ports[i];
+        if (p.rx_packets == 0 && p.tx_packets == 0) continue;
+        s += util::format("  port %zu: rx=%llu/%lluB tx=%llu/%lluB\n", i,
+                          static_cast<unsigned long long>(p.rx_packets),
+                          static_cast<unsigned long long>(p.rx_bytes),
+                          static_cast<unsigned long long>(p.tx_packets),
+                          static_cast<unsigned long long>(p.tx_bytes));
+    }
+    for (const auto& t : tables) {
+        s += util::format("  table %s: hits=%llu misses=%llu entries=%llu/%llu\n",
+                          t.name.c_str(), static_cast<unsigned long long>(t.hits),
+                          static_cast<unsigned long long>(t.misses),
+                          static_cast<unsigned long long>(t.entries),
+                          static_cast<unsigned long long>(t.capacity));
+    }
+    return s;
+}
+
+StatusSnapshot StatusSnapshot::delta_since(const StatusSnapshot& older) const {
+    StatusSnapshot d = *this;
+    d.stages.parser_in -= older.stages.parser_in;
+    d.stages.parser_accepted -= older.stages.parser_accepted;
+    d.stages.parser_rejected -= older.stages.parser_rejected;
+    d.stages.parser_errors -= older.stages.parser_errors;
+    d.stages.ingress_dropped -= older.stages.ingress_dropped;
+    d.stages.egress_dropped -= older.stages.egress_dropped;
+    d.stages.forwarded -= older.stages.forwarded;
+    for (std::size_t i = 0; i < d.ports.size() && i < older.ports.size(); ++i) {
+        d.ports[i].rx_packets -= older.ports[i].rx_packets;
+        d.ports[i].rx_bytes -= older.ports[i].rx_bytes;
+        d.ports[i].tx_packets -= older.ports[i].tx_packets;
+        d.ports[i].tx_bytes -= older.ports[i].tx_bytes;
+    }
+    for (std::size_t i = 0; i < d.tables.size() && i < older.tables.size(); ++i) {
+        d.tables[i].hits -= older.tables[i].hits;
+        d.tables[i].misses -= older.tables[i].misses;
+    }
+    return d;
+}
+
+std::int64_t StatusSnapshot::unaccounted_packets() const {
+    const auto in = static_cast<std::int64_t>(stages.parser_in);
+    const auto accounted = static_cast<std::int64_t>(
+        stages.parser_rejected + stages.parser_errors + stages.ingress_dropped +
+        stages.egress_dropped + stages.forwarded);
+    return in - accounted;
+}
+
+}  // namespace ndb::control

@@ -1,0 +1,44 @@
+// Device status snapshots: the periodic internal status information of the
+// paper's status-monitoring use-case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+
+namespace ndb::control {
+
+struct PortCounters {
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+};
+
+struct TableStatus {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t capacity = 0;
+};
+
+struct StatusSnapshot {
+    std::uint64_t taken_at_ns = 0;
+    dataplane::StageCounters stages;
+    std::vector<PortCounters> ports;
+    std::vector<TableStatus> tables;
+
+    std::string to_string() const;
+
+    // Counter deltas between two snapshots (this - older).
+    StatusSnapshot delta_since(const StatusSnapshot& older) const;
+
+    // Total packets that entered but neither left nor were accounted as
+    // dropped: nonzero values indicate silent loss inside the device.
+    std::int64_t unaccounted_packets() const;
+};
+
+}  // namespace ndb::control

@@ -1,0 +1,167 @@
+#include "core/localize.h"
+
+#include "util/strings.h"
+
+namespace ndb::core {
+
+using dataplane::Stage;
+
+std::string LocalizeResult::to_string() const {
+    if (!diverged) {
+        return util::format("no divergence (probes=%d replays=%llu)", probes,
+                            static_cast<unsigned long long>(packets_replayed));
+    }
+    return util::format("fault localized to %s stage: %s (probes=%d replays=%llu)",
+                        dataplane::stage_name(stage), description.c_str(), probes,
+                        static_cast<unsigned long long>(packets_replayed));
+}
+
+FaultLocalizer::FaultLocalizer(target::Device& dut, target::Device& golden,
+                               std::uint64_t trigger_period)
+    : dut_(dut), golden_(golden), trigger_period_(std::max<std::uint64_t>(1, trigger_period)) {}
+
+namespace {
+
+// Compares two tap states of the same program; returns a human-readable
+// difference, if any.
+std::optional<std::string> diff_states(const p4::ir::Program& prog,
+                                       const dataplane::PacketState& a,
+                                       const dataplane::PacketState& b) {
+    for (std::size_t h = 0; h < prog.headers.size(); ++h) {
+        const auto& hdr = prog.headers[h];
+        if (a.headers[h].valid != b.headers[h].valid) {
+            return "validity of header '" + hdr.name + "' differs";
+        }
+        if (!a.headers[h].valid && !hdr.is_metadata) continue;
+        for (std::size_t f = 0; f < hdr.fields.size(); ++f) {
+            if (a.headers[h].fields[f] != b.headers[h].fields[f]) {
+                return util::format("field %s.%s: dut=%s golden=%s", hdr.name.c_str(),
+                                    hdr.fields[f].name.c_str(),
+                                    a.headers[h].fields[f].to_hex().c_str(),
+                                    b.headers[h].fields[f].to_hex().c_str());
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+const std::optional<dataplane::PacketState>* tap_of(
+    const dataplane::PipelineResult& r, Stage stage) {
+    switch (stage) {
+        case Stage::parser: return &r.tap_after_parser;
+        case Stage::ingress: return &r.tap_after_ingress;
+        case Stage::egress:
+        case Stage::deparser: return &r.tap_after_egress;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+std::optional<std::string> FaultLocalizer::probe(Stage stage,
+                                                 const packet::Packet& stimulus,
+                                                 LocalizeResult& accounting) {
+    ++accounting.probes;
+    dut_.set_taps_enabled(true);
+    golden_.set_taps_enabled(true);
+    dut_.clear_tap_records();
+    golden_.clear_tap_records();
+
+    std::optional<std::string> divergence;
+    for (std::uint64_t i = 0; i < trigger_period_; ++i) {
+        packet::Packet p1 = stimulus;
+        packet::Packet p2 = stimulus;
+        dut_.inject(std::move(p1));
+        golden_.inject(std::move(p2));
+        accounting.packets_replayed += 2;
+        for (int port = 0; port < dut_.config().num_ports; ++port) {
+            dut_.drain_port(static_cast<std::uint32_t>(port));
+            golden_.drain_port(static_cast<std::uint32_t>(port));
+        }
+        const auto& taps_dut = dut_.tap_records();
+        const auto& taps_gold = golden_.tap_records();
+        if (taps_dut.empty() || taps_gold.empty()) continue;
+        const auto& rd = taps_dut.back().result;
+        const auto& rg = taps_gold.back().result;
+
+        // A packet that vanished on the DUT before this stage is the
+        // strongest possible divergence signal.
+        if (rd.silent_drop && static_cast<int>(rd.silent_drop_stage) <=
+                                  static_cast<int>(stage)) {
+            divergence = util::format("packet silently vanished after %s",
+                                      dataplane::stage_name(rd.silent_drop_stage));
+            break;
+        }
+        const auto* tap_d = tap_of(rd, stage);
+        const auto* tap_g = tap_of(rg, stage);
+        if (!tap_d || !tap_g) continue;
+        if (tap_d->has_value() != tap_g->has_value()) {
+            divergence = "packet reached this stage on only one device";
+            break;
+        }
+        if (!tap_d->has_value()) {
+            // Neither pipeline reached the stage (e.g. both dropped earlier):
+            // compare dispositions instead.
+            if (rd.disposition != rg.disposition) {
+                divergence = util::format(
+                    "disposition differs: dut=%s golden=%s",
+                    dataplane::disposition_name(rd.disposition),
+                    dataplane::disposition_name(rg.disposition));
+                break;
+            }
+            continue;
+        }
+        if (auto diff = diff_states(dut_.program(), **tap_d, **tap_g)) {
+            divergence = std::move(diff);
+            break;
+        }
+    }
+    dut_.set_taps_enabled(false);
+    golden_.set_taps_enabled(false);
+    return divergence;
+}
+
+LocalizeResult FaultLocalizer::localize_linear(const packet::Packet& stimulus) {
+    LocalizeResult result;
+    for (const Stage stage : {Stage::parser, Stage::ingress, Stage::egress}) {
+        if (auto diff = probe(stage, stimulus, result)) {
+            result.diverged = true;
+            result.stage = stage;
+            result.description = std::move(*diff);
+            return result;
+        }
+    }
+    result.description = "no stage diverged";
+    return result;
+}
+
+LocalizeResult FaultLocalizer::localize_binary(const packet::Packet& stimulus) {
+    LocalizeResult result;
+    // Tap points ordered front to back; find the FIRST diverging one by
+    // bisection (divergence is monotone: once state differs it stays
+    // different or the packet disappears).
+    const Stage stages[] = {Stage::parser, Stage::ingress, Stage::egress};
+    int lo = 0, hi = 2;
+    int first_bad = -1;
+    std::string description;
+    while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        if (auto diff = probe(stages[mid], stimulus, result)) {
+            first_bad = mid;
+            description = std::move(*diff);
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if (first_bad >= 0) {
+        result.diverged = true;
+        result.stage = stages[first_bad];
+        result.description = std::move(description);
+    } else {
+        result.description = "no stage diverged";
+    }
+    return result;
+}
+
+}  // namespace ndb::core

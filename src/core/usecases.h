@@ -1,0 +1,57 @@
+// The seven use-cases of paper Figure 2, evaluated experimentally.
+//
+// Each (tool, use-case) cell is an actual experiment: the tool attempts the
+// scenario, and the cell records what it could and could not observe.  The
+// capability grade follows the paper's criteria -- FULL needs the complete
+// use-case including internal visibility; PARTIAL means only the externally
+// visible (or specification-level) portion; NONE means the tool has no
+// handle on the use-case at all.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace ndb::core {
+
+enum class UseCase {
+    functional = 0,
+    performance = 1,
+    compiler_check = 2,
+    architecture_check = 3,
+    resources = 4,
+    status_monitoring = 5,
+    comparison = 6,
+};
+inline constexpr int kUseCaseCount = 7;
+const char* use_case_name(UseCase use_case);
+
+enum class ToolKind {
+    formal_verification = 0,  // p4v-style, spec-level (src/verify)
+    external_tester = 1,      // OSNT-style, ports only (src/tester)
+    netdebug = 2,             // this paper's framework (src/core)
+};
+inline constexpr int kToolCount = 3;
+const char* tool_kind_name(ToolKind tool);
+
+enum class Capability { none = 0, partial = 1, full = 2 };
+const char* capability_name(Capability capability);
+
+struct CellResult {
+    Capability capability = Capability::none;
+    std::string evidence;  // what actually happened in the experiment
+};
+
+// Runs the experiment behind one matrix cell.
+CellResult evaluate_cell(ToolKind tool, UseCase use_case);
+
+struct Figure2 {
+    std::array<std::array<CellResult, kUseCaseCount>, kToolCount> cells;
+
+    // Paper-style capability matrix plus the per-cell evidence lines.
+    std::string to_table(bool with_evidence = false) const;
+};
+
+// Runs all 21 experiments.
+Figure2 build_figure2();
+
+}  // namespace ndb::core

@@ -1,0 +1,15 @@
+// Deparser: serializes the parsed representation back to wire bytes.
+#pragma once
+
+#include "dataplane/state.h"
+#include "p4/ir.h"
+#include "packet/packet.h"
+
+namespace ndb::dataplane {
+
+// Emits every valid header in the program's deparse order, then appends the
+// payload.  Non-byte-aligned header stacks are padded with zero bits at the
+// end, mirroring how hardware deparsers round up to the bus width.
+packet::Packet deparse(const p4::ir::Program& prog, const PacketState& state);
+
+}  // namespace ndb::dataplane

@@ -1,0 +1,257 @@
+#include "dataplane/interp.h"
+
+#include <stdexcept>
+
+#include "packet/checksum.h"
+
+namespace ndb::dataplane {
+
+using p4::ir::Expr;
+using p4::ir::Program;
+using p4::ir::Stmt;
+
+Bitvec eval_expr(const Program& prog, const Expr& e, const PacketState& state,
+                 const Frame& frame, const Quirks& quirks) {
+    switch (e.kind) {
+        case Expr::Kind::constant:
+            return e.cvalue;
+        case Expr::Kind::field:
+            return state.get(e.fref);
+        case Expr::Kind::param:
+            return frame.params.at(static_cast<std::size_t>(e.index));
+        case Expr::Kind::local:
+            return frame.locals.at(static_cast<std::size_t>(e.index));
+        case Expr::Kind::is_valid:
+            return Bitvec(1, state.header_valid(e.fref.header) ? 1 : 0);
+        case Expr::Kind::unary: {
+            const Bitvec a = eval_expr(prog, *e.a, state, frame, quirks);
+            switch (e.un) {
+                case p4::ast::UnOp::neg: return a.neg();
+                case p4::ast::UnOp::bnot: return a.bnot();
+                case p4::ast::UnOp::lnot: return Bitvec(1, a.is_zero() ? 1 : 0);
+            }
+            break;
+        }
+        case Expr::Kind::binary: {
+            using p4::ast::BinOp;
+            // Short-circuit the logical operators.
+            if (e.bin == BinOp::land) {
+                const Bitvec a = eval_expr(prog, *e.a, state, frame, quirks);
+                if (a.is_zero()) return Bitvec(1, 0);
+                return eval_expr(prog, *e.b, state, frame, quirks).is_zero()
+                           ? Bitvec(1, 0)
+                           : Bitvec(1, 1);
+            }
+            if (e.bin == BinOp::lor) {
+                const Bitvec a = eval_expr(prog, *e.a, state, frame, quirks);
+                if (!a.is_zero()) return Bitvec(1, 1);
+                return eval_expr(prog, *e.b, state, frame, quirks).is_zero()
+                           ? Bitvec(1, 0)
+                           : Bitvec(1, 1);
+            }
+            const Bitvec a = eval_expr(prog, *e.a, state, frame, quirks);
+            const Bitvec b = eval_expr(prog, *e.b, state, frame, quirks);
+            switch (e.bin) {
+                case BinOp::add: return a.add(b);
+                case BinOp::sub: return a.sub(b);
+                case BinOp::mul: return a.mul(b);
+                case BinOp::band: return a.band(b);
+                case BinOp::bor: return a.bor(b);
+                case BinOp::bxor: return a.bxor(b);
+                case BinOp::shl:
+                    return a.shl(static_cast<int>(std::min<std::uint64_t>(
+                        b.to_u64(), static_cast<std::uint64_t>(a.width()))));
+                case BinOp::shr: {
+                    const int amount = static_cast<int>(std::min<std::uint64_t>(
+                        b.to_u64(), static_cast<std::uint64_t>(a.width())));
+                    // Vendor bug: the backend emits a left shift instead.
+                    return quirks.shift_miscompile ? a.shl(amount) : a.lshr(amount);
+                }
+                case BinOp::eq: return Bitvec(1, a.eq(b) ? 1 : 0);
+                case BinOp::ne: return Bitvec(1, a.eq(b) ? 0 : 1);
+                case BinOp::lt: return Bitvec(1, a.ult(b) ? 1 : 0);
+                case BinOp::le: return Bitvec(1, a.ule(b) ? 1 : 0);
+                case BinOp::gt: return Bitvec(1, a.ugt(b) ? 1 : 0);
+                case BinOp::ge: return Bitvec(1, a.uge(b) ? 1 : 0);
+                case BinOp::concat: return Bitvec::concat(a, b);
+                case BinOp::land:
+                case BinOp::lor: break;  // handled above
+            }
+            break;
+        }
+        case Expr::Kind::ternary: {
+            const Bitvec c = eval_expr(prog, *e.c, state, frame, quirks);
+            return c.is_zero() ? eval_expr(prog, *e.b, state, frame, quirks)
+                               : eval_expr(prog, *e.a, state, frame, quirks);
+        }
+        case Expr::Kind::slice: {
+            const Bitvec a = eval_expr(prog, *e.a, state, frame, quirks);
+            return a.slice(e.hi, e.lo);
+        }
+        case Expr::Kind::cast: {
+            const Bitvec a = eval_expr(prog, *e.a, state, frame, quirks);
+            return a.resize(e.width);
+        }
+    }
+    throw std::logic_error("eval_expr: unreachable");
+}
+
+Interpreter::Interpreter(const Program& prog, TableSet& tables, StatefulSet& stateful,
+                         Quirks quirks)
+    : prog_(prog), tables_(tables), stateful_(stateful), quirks_(quirks) {}
+
+void Interpreter::run_control(const p4::ir::Control& control, PacketState& state) {
+    Frame frame;
+    frame.locals.reserve(control.local_widths.size());
+    for (const int w : control.local_widths) frame.locals.emplace_back(w);
+    exec_body(control.body, state, frame);
+}
+
+void Interpreter::run_action(int action_id, std::vector<Bitvec> args,
+                             PacketState& state) {
+    const auto& action = prog_.actions.at(static_cast<std::size_t>(action_id));
+    Frame frame;
+    frame.params = std::move(args);
+    frame.locals.reserve(action.local_widths.size());
+    for (const int w : action.local_widths) frame.locals.emplace_back(w);
+    exec_body(action.body, state, frame);
+}
+
+void Interpreter::exec_body(const std::vector<p4::ir::StmtPtr>& body,
+                            PacketState& state, Frame& frame) {
+    for (const auto& s : body) {
+        if (state.exited) return;
+        exec(*s, state, frame);
+    }
+}
+
+void Interpreter::exec(const Stmt& s, PacketState& state, Frame& frame) {
+    ++state.cycles;
+    switch (s.kind) {
+        case Stmt::Kind::assign_field:
+            state.set(s.dst, eval_expr(prog_, *s.value, state, frame, quirks_));
+            return;
+        case Stmt::Kind::assign_local:
+            frame.locals.at(static_cast<std::size_t>(s.local_index)) =
+                eval_expr(prog_, *s.value, state, frame, quirks_);
+            return;
+        case Stmt::Kind::assign_slice: {
+            Bitvec cur = state.get(s.dst);
+            const Bitvec v = eval_expr(prog_, *s.value, state, frame, quirks_);
+            for (int i = s.lo; i <= s.hi; ++i) {
+                cur.set_bit(i, v.bit(i - s.lo));
+            }
+            state.set(s.dst, std::move(cur));
+            return;
+        }
+        case Stmt::Kind::if_stmt: {
+            const Bitvec c = eval_expr(prog_, *s.cond, state, frame, quirks_);
+            exec_body(c.is_zero() ? s.else_body : s.then_body, state, frame);
+            return;
+        }
+        case Stmt::Kind::apply_table: {
+            state.cycles += 1;  // match stage costs an extra cycle
+            const auto& table = prog_.tables.at(static_cast<std::size_t>(s.table));
+            std::vector<Bitvec> keys;
+            keys.reserve(table.keys.size());
+            for (const auto& k : table.keys) {
+                keys.push_back(eval_expr(prog_, *k.expr, state, frame, quirks_));
+            }
+            bool hit = false;
+            ActionEntry entry = tables_.lookup(s.table, keys, hit);
+            applies_.push_back({s.table, hit, entry.action_id});
+            run_action(entry.action_id, std::move(entry.args), state);
+            return;
+        }
+        case Stmt::Kind::call_action: {
+            std::vector<Bitvec> args;
+            args.reserve(s.action_args.size());
+            for (const auto& a : s.action_args) {
+                args.push_back(eval_expr(prog_, *a, state, frame, quirks_));
+            }
+            run_action(s.action, std::move(args), state);
+            return;
+        }
+        case Stmt::Kind::set_valid:
+            state.headers.at(static_cast<std::size_t>(s.dst.header)).valid =
+                s.make_valid;
+            return;
+        case Stmt::Kind::extern_op:
+            exec_extern(s, state, frame);
+            return;
+        case Stmt::Kind::exit_pipeline:
+            state.exited = true;
+            return;
+    }
+}
+
+void Interpreter::exec_extern(const Stmt& s, PacketState& state, Frame& frame) {
+    const auto index_of = [&](const p4::ir::ExprPtr& e) -> std::uint64_t {
+        return e ? eval_expr(prog_, *e, state, frame, quirks_).to_u64() : 0;
+    };
+    const std::uint64_t pkt_bytes = state.get(prog_.f_packet_length).to_u64();
+
+    switch (s.ext) {
+        case p4::ir::ExternKind::mark_to_drop:
+            state.set(prog_.f_egress_spec, Bitvec(9, p4::ir::kDropPort));
+            return;
+        case p4::ir::ExternKind::register_read: {
+            const Bitvec v = stateful_.register_read(s.extern_id, index_of(s.index_expr));
+            state.set(s.ext_dst, v.resize(prog_.field(s.ext_dst).width));
+            return;
+        }
+        case p4::ir::ExternKind::register_write:
+            stateful_.register_write(s.extern_id, index_of(s.index_expr),
+                                     eval_expr(prog_, *s.value, state, frame, quirks_));
+            return;
+        case p4::ir::ExternKind::counter_count:
+            stateful_.counter_count(s.extern_id, index_of(s.index_expr), pkt_bytes);
+            return;
+        case p4::ir::ExternKind::meter_execute: {
+            const MeterColor color = stateful_.meter_execute(
+                s.extern_id, index_of(s.index_expr), state.meta.rx_time_ns, pkt_bytes);
+            state.set(s.ext_dst, Bitvec(prog_.field(s.ext_dst).width,
+                                        static_cast<std::uint64_t>(color)));
+            return;
+        }
+        case p4::ir::ExternKind::hash: {
+            std::vector<std::uint8_t> bytes;
+            for (const auto& input : s.hash_inputs) {
+                const Bitvec v = eval_expr(prog_, *input, state, frame, quirks_);
+                const auto b = v.to_bytes();
+                bytes.insert(bytes.end(), b.begin(), b.end());
+            }
+            const std::uint32_t h = packet::crc32(bytes);
+            state.set(s.ext_dst,
+                      Bitvec(32, h).resize(prog_.field(s.ext_dst).width));
+            return;
+        }
+        case p4::ir::ExternKind::checksum_update:
+            if (!quirks_.skip_checksum_update) {
+                checksum_update(state, s.hash_header, s.checksum_field);
+            }
+            return;
+        case p4::ir::ExternKind::none:
+            return;
+    }
+}
+
+void Interpreter::checksum_update(PacketState& state, int header,
+                                  int checksum_field) {
+    const auto& hdr = prog_.headers.at(static_cast<std::size_t>(header));
+    const auto& inst = state.headers.at(static_cast<std::size_t>(header));
+    // Serialize the header with the checksum field forced to zero, then take
+    // the RFC 1071 checksum of the byte image.
+    Bitvec image;
+    for (std::size_t f = 0; f < hdr.fields.size(); ++f) {
+        const Bitvec& v = static_cast<int>(f) == checksum_field
+                              ? Bitvec(hdr.fields[f].width)
+                              : inst.fields[f];
+        image = Bitvec::concat(image, v);
+    }
+    const std::uint16_t csum = packet::internet_checksum(image.to_bytes());
+    const int w = hdr.fields[static_cast<std::size_t>(checksum_field)].width;
+    state.set({header, checksum_field}, Bitvec(16, csum).resize(w));
+}
+
+}  // namespace ndb::dataplane

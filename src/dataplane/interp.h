@@ -1,0 +1,63 @@
+// IR interpreter: expression evaluation and match-action control execution.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/quirks.h"
+#include "dataplane/state.h"
+#include "dataplane/stateful.h"
+#include "dataplane/tables.h"
+#include "p4/ir.h"
+
+namespace ndb::dataplane {
+
+// Local/parameter slots for the body currently executing.
+struct Frame {
+    std::vector<Bitvec> locals;
+    std::vector<Bitvec> params;
+};
+
+// One table application observed while a control ran.
+struct TableApply {
+    int table = -1;
+    bool hit = false;
+    int action = -1;
+};
+
+// Evaluates `e` against packet state and frame.  Shared by the parser
+// engine (select keys), the interpreter and tests.  Honours the quirks
+// that affect expression semantics (shift miscompilation).
+Bitvec eval_expr(const p4::ir::Program& prog, const p4::ir::Expr& e,
+                 const PacketState& state, const Frame& frame,
+                 const Quirks& quirks);
+
+// Executes ingress/egress controls over a PacketState.
+class Interpreter {
+public:
+    Interpreter(const p4::ir::Program& prog, TableSet& tables, StatefulSet& stateful,
+                Quirks quirks = {});
+
+    // Runs a control body; table applies are appended to `applies_`.
+    void run_control(const p4::ir::Control& control, PacketState& state);
+
+    // Runs one action directly (used for table results and direct calls).
+    void run_action(int action_id, std::vector<Bitvec> args, PacketState& state);
+
+    const std::vector<TableApply>& applies() const { return applies_; }
+    void clear_applies() { applies_.clear(); }
+
+private:
+    void exec_body(const std::vector<p4::ir::StmtPtr>& body, PacketState& state,
+                   Frame& frame);
+    void exec(const p4::ir::Stmt& s, PacketState& state, Frame& frame);
+    void exec_extern(const p4::ir::Stmt& s, PacketState& state, Frame& frame);
+    void checksum_update(PacketState& state, int header, int checksum_field);
+
+    const p4::ir::Program& prog_;
+    TableSet& tables_;
+    StatefulSet& stateful_;
+    Quirks quirks_;
+    std::vector<TableApply> applies_;
+};
+
+}  // namespace ndb::dataplane

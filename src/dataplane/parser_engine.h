@@ -1,0 +1,31 @@
+// Programmable parser engine: executes the IR parser state machine.
+#pragma once
+
+#include "dataplane/quirks.h"
+#include "dataplane/state.h"
+#include "p4/ir.h"
+#include "packet/packet.h"
+
+namespace ndb::dataplane {
+
+class ParserEngine {
+public:
+    explicit ParserEngine(const p4::ir::Program& prog, Quirks quirks = {})
+        : prog_(prog), quirks_(quirks) {}
+
+    // Fills `state` (headers, payload, verdict) from the packet bytes.
+    // With the `reject_as_accept` quirk, explicit rejects and parse errors
+    // leave the state as-is and report `accept` -- modeling a target that
+    // never implemented the reject path.
+    ParserVerdict run(const packet::Packet& pkt, PacketState& state,
+                      int* states_visited = nullptr) const;
+
+    // Cycle guard so malformed state machines cannot loop forever.
+    static constexpr int kMaxStates = 256;
+
+private:
+    const p4::ir::Program& prog_;
+    Quirks quirks_;
+};
+
+}  // namespace ndb::dataplane

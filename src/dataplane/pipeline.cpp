@@ -1,0 +1,134 @@
+#include "dataplane/pipeline.h"
+
+#include "dataplane/deparser.h"
+
+namespace ndb::dataplane {
+
+const char* disposition_name(Disposition d) {
+    switch (d) {
+        case Disposition::forwarded: return "forwarded";
+        case Disposition::dropped_parser: return "dropped(parser)";
+        case Disposition::dropped_ingress: return "dropped(ingress)";
+        case Disposition::dropped_egress: return "dropped(egress)";
+    }
+    return "?";
+}
+
+const char* stage_name(Stage stage) {
+    switch (stage) {
+        case Stage::parser: return "parser";
+        case Stage::ingress: return "ingress";
+        case Stage::egress: return "egress";
+        case Stage::deparser: return "deparser";
+    }
+    return "?";
+}
+
+Pipeline::Pipeline(const p4::ir::Program& prog, TableSet& tables,
+                   StatefulSet& stateful, PipelineOptions options)
+    : prog_(prog),
+      tables_(tables),
+      stateful_(stateful),
+      options_(options),
+      parser_(prog, options.quirks),
+      interp_(prog, tables, stateful, options.quirks) {}
+
+PipelineResult Pipeline::process(const packet::Packet& in) {
+    PipelineResult result;
+    ++counters_.parser_in;
+
+    PacketState state = PacketState::initial(
+        prog_, in.meta, static_cast<std::uint32_t>(in.size()),
+        options_.quirks.metadata_clobber);
+
+    const ParserVerdict verdict = parser_.run(in, state);
+    result.parser_verdict = verdict;
+    switch (verdict) {
+        case ParserVerdict::accept:
+            ++counters_.parser_accepted;
+            break;
+        case ParserVerdict::reject:
+            ++counters_.parser_rejected;
+            break;
+        default:
+            ++counters_.parser_errors;
+            break;
+    }
+    if (options_.capture_taps) result.tap_after_parser = state;
+    if (verdict != ParserVerdict::accept) {
+        result.disposition = Disposition::dropped_parser;
+        result.cycles = state.cycles;
+        return result;
+    }
+    if (options_.stage_hook) {
+        options_.stage_hook(Stage::parser, state);
+        if (state.vanished) {
+            result.silent_drop = true;
+            result.silent_drop_stage = Stage::parser;
+            result.disposition = Disposition::dropped_parser;
+            result.cycles = state.cycles;
+            return result;
+        }
+    }
+
+    interp_.clear_applies();
+    interp_.run_control(prog_.ingress, state);
+    if (options_.capture_taps) result.tap_after_ingress = state;
+    if (state.drop_flagged(prog_)) {
+        ++counters_.ingress_dropped;
+        result.disposition = Disposition::dropped_ingress;
+        result.applies = interp_.applies();
+        result.cycles = state.cycles;
+        return result;
+    }
+    if (options_.stage_hook) {
+        options_.stage_hook(Stage::ingress, state);
+        if (state.vanished) {
+            result.silent_drop = true;
+            result.silent_drop_stage = Stage::ingress;
+            result.disposition = Disposition::dropped_ingress;
+            result.applies = interp_.applies();
+            result.cycles = state.cycles;
+            return result;
+        }
+    }
+
+    // Traffic manager: commit egress_spec to egress_port.
+    const std::uint64_t port = state.egress_spec(prog_);
+    state.set(prog_.f_egress_port, util::Bitvec(9, port));
+
+    if (prog_.egress) {
+        state.exited = false;
+        interp_.run_control(*prog_.egress, state);
+        if (options_.capture_taps) result.tap_after_egress = state;
+        if (state.drop_flagged(prog_)) {
+            ++counters_.egress_dropped;
+            result.disposition = Disposition::dropped_egress;
+            result.applies = interp_.applies();
+            result.cycles = state.cycles;
+            return result;
+        }
+    }
+    if (options_.stage_hook) {
+        options_.stage_hook(Stage::egress, state);
+        if (state.vanished) {
+            result.silent_drop = true;
+            result.silent_drop_stage = Stage::egress;
+            result.disposition = Disposition::dropped_egress;
+            result.applies = interp_.applies();
+            result.cycles = state.cycles;
+            return result;
+        }
+    }
+
+    result.output = deparse(prog_, state);
+    result.output.meta.egress_port = static_cast<std::uint32_t>(port);
+    result.egress_port = static_cast<std::uint32_t>(port);
+    result.disposition = Disposition::forwarded;
+    result.applies = interp_.applies();
+    result.cycles = state.cycles + 1;  // deparser cycle
+    ++counters_.forwarded;
+    return result;
+}
+
+}  // namespace ndb::dataplane

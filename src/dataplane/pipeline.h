@@ -1,0 +1,100 @@
+// The full per-packet pipeline: parse -> ingress -> egress -> deparse.
+//
+// This is the "data plane under test" of the paper's Figure 1.  The
+// optional stage traces ("taps") are the internal observation points that
+// give NetDebug its visibility advantage over external testers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dataplane/interp.h"
+#include "dataplane/parser_engine.h"
+#include "dataplane/quirks.h"
+#include "dataplane/state.h"
+#include "dataplane/stateful.h"
+#include "dataplane/tables.h"
+#include "p4/ir.h"
+#include "packet/packet.h"
+
+namespace ndb::dataplane {
+
+enum class Disposition {
+    forwarded,
+    dropped_parser,
+    dropped_ingress,
+    dropped_egress,
+};
+
+const char* disposition_name(Disposition d);
+
+// Pipeline stages, used to address taps and fault injection points.
+enum class Stage { parser = 0, ingress = 1, egress = 2, deparser = 3 };
+
+inline constexpr int kStageCount = 4;
+const char* stage_name(Stage stage);
+
+struct PipelineResult {
+    Disposition disposition = Disposition::forwarded;
+    ParserVerdict parser_verdict = ParserVerdict::accept;
+    packet::Packet output;                 // meaningful when forwarded
+    std::uint32_t egress_port = 0;
+    std::uint64_t cycles = 0;
+    std::vector<TableApply> applies;
+
+    // An injected fault swallowed the packet after this stage; the device's
+    // own counters do NOT see such losses (that is what makes them silent).
+    bool silent_drop = false;
+    Stage silent_drop_stage = Stage::parser;
+
+    // Stage taps (populated when tracing is enabled).
+    std::optional<PacketState> tap_after_parser;
+    std::optional<PacketState> tap_after_ingress;
+    std::optional<PacketState> tap_after_egress;
+};
+
+struct PipelineOptions {
+    Quirks quirks;
+    bool capture_taps = false;
+
+    // Fault-injection hook, called after each stage with the live state.
+    // Setting PacketState::vanished makes the packet disappear silently.
+    std::function<void(Stage, PacketState&)> stage_hook;
+};
+
+// Aggregate per-stage counters: the device's internal status registers.
+struct StageCounters {
+    std::uint64_t parser_in = 0;
+    std::uint64_t parser_accepted = 0;
+    std::uint64_t parser_rejected = 0;
+    std::uint64_t parser_errors = 0;
+    std::uint64_t ingress_dropped = 0;
+    std::uint64_t egress_dropped = 0;
+    std::uint64_t forwarded = 0;
+};
+
+class Pipeline {
+public:
+    Pipeline(const p4::ir::Program& prog, TableSet& tables, StatefulSet& stateful,
+             PipelineOptions options = {});
+
+    PipelineResult process(const packet::Packet& in);
+
+    const p4::ir::Program& program() const { return prog_; }
+    const StageCounters& counters() const { return counters_; }
+    void reset_counters() { counters_ = {}; }
+    void set_capture_taps(bool on) { options_.capture_taps = on; }
+
+private:
+    const p4::ir::Program& prog_;
+    TableSet& tables_;
+    StatefulSet& stateful_;
+    PipelineOptions options_;
+    ParserEngine parser_;
+    Interpreter interp_;
+    StageCounters counters_;
+};
+
+}  // namespace ndb::dataplane

@@ -1,0 +1,47 @@
+// Vendor-backend behaviour deviations ("quirks").
+//
+// A Quirks value travels with a compiled device image and tells the
+// execution engines how the modeled target diverges from P4 semantics.
+// The reference target uses the all-defaults value; the SDNet-like target
+// injects the bug catalogue here.  The headline entry is
+// `reject_as_accept`: the paper's discovery that SDNet does not implement
+// the parser reject state, so packets that must be dropped are forwarded.
+#pragma once
+
+namespace ndb::dataplane {
+
+struct Quirks {
+    // Parser `reject` behaves like `accept`: headers extracted so far stay
+    // valid and the packet continues through the pipeline (paper Section 4).
+    bool reject_as_accept = false;
+
+    // Maximum number of header extracts the hardware parser supports;
+    // further extracts are silently skipped and the parser accepts early.
+    // 0 means unlimited.
+    int parser_depth_limit = 0;
+
+    // The checksum engine is not wired up: ipv4_checksum_update is a no-op.
+    bool skip_checksum_update = false;
+
+    // Right shifts are miscompiled into left shifts.
+    bool shift_miscompile = false;
+
+    // Tables hold at most this many entries regardless of the declared
+    // size.  0 means no clamp.
+    int table_size_clamp = 0;
+
+    // Ternary match selects the lowest-priority matching entry instead of
+    // the highest.
+    bool ternary_priority_inverted = false;
+
+    // User metadata starts with a garbage pattern instead of zeros.
+    bool metadata_clobber = false;
+
+    bool any() const {
+        return reject_as_accept || parser_depth_limit > 0 || skip_checksum_update ||
+               shift_miscompile || table_size_clamp > 0 ||
+               ternary_priority_inverted || metadata_clobber;
+    }
+};
+
+}  // namespace ndb::dataplane

@@ -1,0 +1,126 @@
+#include "dataplane/stateful.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndb::dataplane {
+
+void MeterCell::configure(double committed_rate, std::uint64_t committed_burst,
+                          double excess_rate, std::uint64_t excess_burst) {
+    committed_rate_ = committed_rate;
+    committed_burst_ = committed_burst;
+    excess_rate_ = excess_rate;
+    excess_burst_ = excess_burst;
+    committed_tokens_ = static_cast<double>(committed_burst);
+    excess_tokens_ = static_cast<double>(excess_burst);
+    last_refill_ns_ = 0;
+}
+
+void MeterCell::refill(std::uint64_t now_ns) {
+    if (now_ns <= last_refill_ns_) return;
+    const double dt = static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+    committed_tokens_ = std::min(static_cast<double>(committed_burst_),
+                                 committed_tokens_ + committed_rate_ * dt);
+    excess_tokens_ = std::min(static_cast<double>(excess_burst_),
+                              excess_tokens_ + excess_rate_ * dt);
+    last_refill_ns_ = now_ns;
+}
+
+MeterColor MeterCell::execute(std::uint64_t now_ns, std::uint64_t bytes) {
+    refill(now_ns);
+    const double b = static_cast<double>(bytes);
+    if (committed_tokens_ >= b) {
+        committed_tokens_ -= b;
+        return MeterColor::green;
+    }
+    if (excess_tokens_ >= b) {
+        excess_tokens_ -= b;
+        return MeterColor::yellow;
+    }
+    return MeterColor::red;
+}
+
+StatefulSet::StatefulSet(const p4::ir::Program& prog) : prog_(prog) {
+    registers_.resize(prog.externs.size());
+    counters_.resize(prog.externs.size());
+    meters_.resize(prog.externs.size());
+    for (const auto& e : prog.externs) {
+        const auto id = static_cast<std::size_t>(e.id);
+        const auto n = static_cast<std::size_t>(e.array_size);
+        switch (e.kind) {
+            case p4::ir::ExternDecl::Kind::reg:
+                registers_[id].elem_width = e.elem_width;
+                registers_[id].cells.assign(n, Bitvec(e.elem_width));
+                break;
+            case p4::ir::ExternDecl::Kind::counter:
+                counters_[id].packets.assign(n, 0);
+                counters_[id].bytes.assign(n, 0);
+                break;
+            case p4::ir::ExternDecl::Kind::meter:
+                meters_[id].cells.assign(n, MeterCell{});
+                break;
+        }
+    }
+}
+
+Bitvec StatefulSet::register_read(int extern_id, std::uint64_t index) const {
+    const auto& arr = registers_.at(static_cast<std::size_t>(extern_id));
+    if (index >= arr.cells.size()) return Bitvec(arr.elem_width);  // OOB reads 0
+    return arr.cells[index];
+}
+
+void StatefulSet::register_write(int extern_id, std::uint64_t index,
+                                 const Bitvec& value) {
+    auto& arr = registers_.at(static_cast<std::size_t>(extern_id));
+    if (index >= arr.cells.size()) return;  // OOB writes are dropped
+    arr.cells[index] = value.resize(arr.elem_width);
+}
+
+void StatefulSet::counter_count(int extern_id, std::uint64_t index,
+                                std::uint64_t bytes) {
+    auto& arr = counters_.at(static_cast<std::size_t>(extern_id));
+    if (index >= arr.packets.size()) return;
+    ++arr.packets[index];
+    arr.bytes[index] += bytes;
+}
+
+std::uint64_t StatefulSet::counter_packets(int extern_id, std::uint64_t index) const {
+    const auto& arr = counters_.at(static_cast<std::size_t>(extern_id));
+    return index < arr.packets.size() ? arr.packets[index] : 0;
+}
+
+std::uint64_t StatefulSet::counter_bytes(int extern_id, std::uint64_t index) const {
+    const auto& arr = counters_.at(static_cast<std::size_t>(extern_id));
+    return index < arr.bytes.size() ? arr.bytes[index] : 0;
+}
+
+void StatefulSet::meter_configure(int extern_id, std::uint64_t index,
+                                  double committed_rate, std::uint64_t committed_burst,
+                                  double excess_rate, std::uint64_t excess_burst) {
+    auto& arr = meters_.at(static_cast<std::size_t>(extern_id));
+    if (index >= arr.cells.size()) return;
+    arr.cells[index].configure(committed_rate, committed_burst, excess_rate,
+                               excess_burst);
+}
+
+MeterColor StatefulSet::meter_execute(int extern_id, std::uint64_t index,
+                                      std::uint64_t now_ns, std::uint64_t bytes) {
+    auto& arr = meters_.at(static_cast<std::size_t>(extern_id));
+    if (index >= arr.cells.size()) return MeterColor::red;
+    return arr.cells[index].execute(now_ns, bytes);
+}
+
+void StatefulSet::reset() {
+    for (auto& r : registers_) {
+        for (auto& c : r.cells) c = Bitvec(r.elem_width);
+    }
+    for (auto& c : counters_) {
+        std::fill(c.packets.begin(), c.packets.end(), 0);
+        std::fill(c.bytes.begin(), c.bytes.end(), 0);
+    }
+    for (auto& m : meters_) {
+        for (auto& cell : m.cells) cell = MeterCell{};
+    }
+}
+
+}  // namespace ndb::dataplane

@@ -1,0 +1,80 @@
+// Stateful externs: register arrays, counters, meters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p4/ir.h"
+#include "util/bitvec.h"
+
+namespace ndb::dataplane {
+
+using util::Bitvec;
+
+// Meter colors follow the usual trTCM convention.
+enum class MeterColor : std::uint8_t { green = 0, yellow = 1, red = 2 };
+
+// Single-rate, two-bucket token meter (committed + excess).
+class MeterCell {
+public:
+    // Rates in bytes/second; bursts in bytes.
+    void configure(double committed_rate, std::uint64_t committed_burst,
+                   double excess_rate, std::uint64_t excess_burst);
+
+    MeterColor execute(std::uint64_t now_ns, std::uint64_t bytes);
+
+private:
+    void refill(std::uint64_t now_ns);
+
+    double committed_rate_ = 1e9;  // effectively unconfigured: everything green
+    double excess_rate_ = 1e9;
+    double committed_tokens_ = 1e9;
+    double excess_tokens_ = 1e9;
+    std::uint64_t committed_burst_ = 1'000'000'000;
+    std::uint64_t excess_burst_ = 1'000'000'000;
+    std::uint64_t last_refill_ns_ = 0;
+};
+
+// Runtime storage for every extern instance of one program.
+class StatefulSet {
+public:
+    explicit StatefulSet(const p4::ir::Program& prog);
+
+    // Registers.
+    Bitvec register_read(int extern_id, std::uint64_t index) const;
+    void register_write(int extern_id, std::uint64_t index, const Bitvec& value);
+
+    // Counters (packets + bytes).
+    void counter_count(int extern_id, std::uint64_t index, std::uint64_t bytes);
+    std::uint64_t counter_packets(int extern_id, std::uint64_t index) const;
+    std::uint64_t counter_bytes(int extern_id, std::uint64_t index) const;
+
+    // Meters.
+    void meter_configure(int extern_id, std::uint64_t index, double committed_rate,
+                         std::uint64_t committed_burst, double excess_rate,
+                         std::uint64_t excess_burst);
+    MeterColor meter_execute(int extern_id, std::uint64_t index,
+                             std::uint64_t now_ns, std::uint64_t bytes);
+
+    void reset();
+
+private:
+    struct RegisterArray {
+        int elem_width = 0;
+        std::vector<Bitvec> cells;
+    };
+    struct CounterArray {
+        std::vector<std::uint64_t> packets;
+        std::vector<std::uint64_t> bytes;
+    };
+    struct MeterArray {
+        std::vector<MeterCell> cells;
+    };
+
+    const p4::ir::Program& prog_;
+    std::vector<RegisterArray> registers_;   // indexed by extern id (sparse)
+    std::vector<CounterArray> counters_;
+    std::vector<MeterArray> meters_;
+};
+
+}  // namespace ndb::dataplane

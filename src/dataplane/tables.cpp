@@ -1,0 +1,315 @@
+#include "dataplane/tables.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndb::dataplane {
+
+const char* insert_status_name(InsertStatus status) {
+    switch (status) {
+        case InsertStatus::ok: return "ok";
+        case InsertStatus::table_full: return "table_full";
+        case InsertStatus::duplicate: return "duplicate";
+        case InsertStatus::bad_entry: return "bad_entry";
+    }
+    return "?";
+}
+
+namespace {
+
+Bitvec concat_keys(std::span<const Bitvec> keys) {
+    Bitvec out;
+    for (const auto& k : keys) out = Bitvec::concat(out, k);
+    return out;
+}
+
+// --- exact ------------------------------------------------------------------
+
+class ExactEngine final : public MatchEngine {
+public:
+    ExactEngine(int total_width, std::size_t capacity)
+        : total_width_(total_width), capacity_(capacity) {}
+
+    InsertStatus insert(const TableEntry& entry) override {
+        const Bitvec key = concat_keys(entry.key_values).resize(total_width_);
+        if (map_.count(key)) return InsertStatus::duplicate;
+        if (map_.size() >= capacity_) return InsertStatus::table_full;
+        map_.emplace(key, ActionEntry{entry.action_id, entry.action_args});
+        return InsertStatus::ok;
+    }
+
+    bool erase(const TableEntry& entry) override {
+        const Bitvec key = concat_keys(entry.key_values).resize(total_width_);
+        return map_.erase(key) > 0;
+    }
+
+    std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const override {
+        const Bitvec key = concat_keys(keys).resize(total_width_);
+        const auto it = map_.find(key);
+        if (it == map_.end()) return std::nullopt;
+        return it->second;
+    }
+
+    std::size_t entry_count() const override { return map_.size(); }
+    void clear() override { map_.clear(); }
+
+private:
+    int total_width_;
+    std::size_t capacity_;
+    std::unordered_map<Bitvec, ActionEntry, util::BitvecHash> map_;
+};
+
+// --- lpm ---------------------------------------------------------------------
+
+// Binary trie over the key bits, most significant bit first.  The longest
+// prefix on the lookup path wins.
+class LpmEngine final : public MatchEngine {
+public:
+    LpmEngine(int key_width, std::size_t capacity)
+        : key_width_(key_width), capacity_(capacity) {
+        nodes_.push_back(Node{});  // root
+    }
+
+    InsertStatus insert(const TableEntry& entry) override {
+        if (entry.key_values.size() != 1 || entry.prefix_len < 0 ||
+            entry.prefix_len > key_width_) {
+            return InsertStatus::bad_entry;
+        }
+        if (count_ >= capacity_) return InsertStatus::table_full;
+        const Bitvec value = entry.key_values[0].resize(key_width_);
+        std::size_t node = 0;
+        for (int i = 0; i < entry.prefix_len; ++i) {
+            const bool bit = value.bit(key_width_ - 1 - i);
+            std::size_t& child = bit ? nodes_[node].one : nodes_[node].zero;
+            if (child == 0) {
+                child = nodes_.size();
+                // `child` is invalidated by push_back; recompute through index.
+                const std::size_t fresh = nodes_.size();
+                nodes_.push_back(Node{});
+                if (bit) {
+                    nodes_[node].one = fresh;
+                } else {
+                    nodes_[node].zero = fresh;
+                }
+                node = fresh;
+            } else {
+                node = child;
+            }
+        }
+        if (nodes_[node].entry) return InsertStatus::duplicate;
+        nodes_[node].entry = ActionEntry{entry.action_id, entry.action_args};
+        ++count_;
+        return InsertStatus::ok;
+    }
+
+    bool erase(const TableEntry& entry) override {
+        if (entry.key_values.size() != 1 || entry.prefix_len < 0) return false;
+        const Bitvec value = entry.key_values[0].resize(key_width_);
+        std::size_t node = 0;
+        for (int i = 0; i < entry.prefix_len; ++i) {
+            const bool bit = value.bit(key_width_ - 1 - i);
+            const std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
+            if (child == 0) return false;
+            node = child;
+        }
+        if (!nodes_[node].entry) return false;
+        nodes_[node].entry.reset();
+        --count_;
+        return true;
+    }
+
+    std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const override {
+        if (keys.size() != 1) return std::nullopt;
+        const Bitvec key = keys[0].resize(key_width_);
+        std::optional<ActionEntry> best;
+        std::size_t node = 0;
+        if (nodes_[0].entry) best = nodes_[0].entry;
+        for (int i = 0; i < key_width_; ++i) {
+            const bool bit = key.bit(key_width_ - 1 - i);
+            const std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
+            if (child == 0) break;
+            node = child;
+            if (nodes_[node].entry) best = nodes_[node].entry;
+        }
+        return best;
+    }
+
+    std::size_t entry_count() const override { return count_; }
+
+    void clear() override {
+        nodes_.clear();
+        nodes_.push_back(Node{});
+        count_ = 0;
+    }
+
+private:
+    struct Node {
+        std::size_t zero = 0;  // 0 = absent (root is never a child)
+        std::size_t one = 0;
+        std::optional<ActionEntry> entry;
+    };
+    int key_width_;
+    std::size_t capacity_;
+    std::vector<Node> nodes_;
+    std::size_t count_ = 0;
+};
+
+// --- ternary -----------------------------------------------------------------
+
+class TernaryEngine final : public MatchEngine {
+public:
+    TernaryEngine(int total_width, std::size_t capacity, bool inverted)
+        : total_width_(total_width), capacity_(capacity), inverted_(inverted) {}
+
+    InsertStatus insert(const TableEntry& entry) override {
+        if (entries_.size() >= capacity_) return InsertStatus::table_full;
+        Row row;
+        row.value = concat_keys(entry.key_values).resize(total_width_);
+        if (entry.key_masks.empty()) {
+            row.mask = Bitvec::ones(total_width_);
+        } else {
+            row.mask = concat_keys(entry.key_masks).resize(total_width_);
+        }
+        row.value = row.value.band(row.mask);
+        row.priority = entry.priority;
+        row.action = {entry.action_id, entry.action_args};
+        for (const auto& existing : entries_) {
+            if (existing.value == row.value && existing.mask == row.mask) {
+                return InsertStatus::duplicate;
+            }
+        }
+        entries_.push_back(std::move(row));
+        return InsertStatus::ok;
+    }
+
+    bool erase(const TableEntry& entry) override {
+        Bitvec value = concat_keys(entry.key_values).resize(total_width_);
+        Bitvec mask = entry.key_masks.empty()
+                          ? Bitvec::ones(total_width_)
+                          : concat_keys(entry.key_masks).resize(total_width_);
+        value = value.band(mask);
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->value == value && it->mask == mask) {
+                entries_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const override {
+        const Bitvec key = concat_keys(keys).resize(total_width_);
+        const Row* best = nullptr;
+        for (const auto& row : entries_) {
+            if (!key.band(row.mask).eq(row.value)) continue;
+            if (!best) {
+                best = &row;
+            } else if (inverted_ ? row.priority < best->priority
+                                 : row.priority > best->priority) {
+                best = &row;
+            }
+        }
+        if (!best) return std::nullopt;
+        return best->action;
+    }
+
+    std::size_t entry_count() const override { return entries_.size(); }
+    void clear() override { entries_.clear(); }
+
+private:
+    struct Row {
+        Bitvec value;
+        Bitvec mask;
+        int priority = 0;
+        ActionEntry action;
+    };
+    int total_width_;
+    std::size_t capacity_;
+    bool inverted_;
+    std::vector<Row> entries_;
+};
+
+}  // namespace
+
+std::unique_ptr<MatchEngine> make_exact_engine(int total_width, std::size_t capacity) {
+    return std::make_unique<ExactEngine>(total_width, capacity);
+}
+
+std::unique_ptr<MatchEngine> make_lpm_engine(int key_width, std::size_t capacity) {
+    return std::make_unique<LpmEngine>(key_width, capacity);
+}
+
+std::unique_ptr<MatchEngine> make_ternary_engine(int total_width, std::size_t capacity,
+                                                 bool inverted_priority) {
+    return std::make_unique<TernaryEngine>(total_width, capacity, inverted_priority);
+}
+
+// --- TableSet -------------------------------------------------------------------
+
+TableSet::TableSet(const p4::ir::Program& prog, int size_clamp,
+                   bool inverted_priority) {
+    slots_.reserve(prog.tables.size());
+    for (const auto& t : prog.tables) {
+        Slot slot;
+        std::size_t cap = static_cast<std::size_t>(std::max<std::int64_t>(t.size, 1));
+        if (size_clamp > 0) {
+            cap = std::min(cap, static_cast<std::size_t>(size_clamp));
+        }
+        slot.capacity = cap;
+        if (t.has_lpm()) {
+            slot.engine = make_lpm_engine(t.keys[0].width, cap);
+        } else if (t.has_ternary()) {
+            slot.engine = make_ternary_engine(t.total_key_width(), cap, inverted_priority);
+        } else {
+            slot.engine = make_exact_engine(t.total_key_width(), cap);
+        }
+        slot.default_action = {t.default_action, t.default_args};
+        slots_.push_back(std::move(slot));
+    }
+}
+
+InsertStatus TableSet::insert(int table_id, const TableEntry& entry) {
+    return slots_.at(static_cast<std::size_t>(table_id)).engine->insert(entry);
+}
+
+bool TableSet::erase(int table_id, const TableEntry& entry) {
+    return slots_.at(static_cast<std::size_t>(table_id)).engine->erase(entry);
+}
+
+void TableSet::set_default_action(int table_id, ActionEntry entry) {
+    slots_.at(static_cast<std::size_t>(table_id)).default_action = std::move(entry);
+}
+
+ActionEntry TableSet::lookup(int table_id, std::span<const Bitvec> keys, bool& hit) {
+    auto& slot = slots_.at(static_cast<std::size_t>(table_id));
+    if (auto found = slot.engine->lookup(keys)) {
+        hit = true;
+        ++slot.stats.hits;
+        return *found;
+    }
+    hit = false;
+    ++slot.stats.misses;
+    return slot.default_action;
+}
+
+const TableSet::Stats& TableSet::stats(int table_id) const {
+    return slots_.at(static_cast<std::size_t>(table_id)).stats;
+}
+
+std::size_t TableSet::entry_count(int table_id) const {
+    return slots_.at(static_cast<std::size_t>(table_id)).engine->entry_count();
+}
+
+std::size_t TableSet::capacity(int table_id) const {
+    return slots_.at(static_cast<std::size_t>(table_id)).capacity;
+}
+
+void TableSet::clear(int table_id) {
+    slots_.at(static_cast<std::size_t>(table_id)).engine->clear();
+}
+
+void TableSet::reset_stats() {
+    for (auto& slot : slots_) slot.stats = {};
+}
+
+}  // namespace ndb::dataplane

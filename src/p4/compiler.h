@@ -1,0 +1,39 @@
+// Semantic analysis and lowering from AST to IR.
+//
+// The compiler resolves names, checks types and widths, enforces the
+// architecture contract (NdpSwitch package, parameter roles) and produces
+// the flat ir::Program every backend consumes.  All semantic errors are
+// reported through the DiagEngine; compile_or_throw wraps them in a
+// CompileError for callers that want exception flow.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "p4/ast.h"
+#include "p4/ir.h"
+#include "util/diag.h"
+
+namespace ndb::p4 {
+
+struct CompileResult {
+    std::unique_ptr<ir::Program> program;  // null when !ok
+    bool ok = false;
+};
+
+// Lowers a parsed program.  Diagnostics (including parse diagnostics from
+// earlier phases) accumulate in `diags`.
+CompileResult compile(const ast::Program& prog, std::string name,
+                      util::DiagEngine& diags);
+
+// Lex + parse + compile; throws util::CompileError with the full diagnostic
+// report when anything fails.
+std::unique_ptr<ir::Program> compile_source(std::string_view source,
+                                            std::string name);
+
+// As compile_source but returns diagnostics instead of throwing.
+CompileResult try_compile_source(std::string_view source, std::string name,
+                                 util::DiagEngine& diags);
+
+}  // namespace ndb::p4

@@ -1,0 +1,38 @@
+// Hand-written lexer for the P4-16 subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "p4/token.h"
+#include "util/diag.h"
+
+namespace ndb::p4 {
+
+class Lexer {
+public:
+    Lexer(std::string_view source, util::DiagEngine& diags);
+
+    // Tokenizes the whole input; always ends with an end_of_file token.
+    std::vector<Token> run();
+
+private:
+    Token next();
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char c);
+    void skip_trivia();  // whitespace and // and /* */ comments
+    Token make(TokKind kind);
+    Token lex_number();
+    Token lex_identifier();
+    util::SourceLoc loc() const { return {line_, col_}; }
+
+    std::string_view src_;
+    util::DiagEngine& diags_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    util::SourceLoc tok_start_;
+};
+
+}  // namespace ndb::p4

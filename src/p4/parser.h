@@ -1,0 +1,71 @@
+// Recursive-descent parser for the P4-16 subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "p4/ast.h"
+#include "p4/token.h"
+#include "util/diag.h"
+
+namespace ndb::p4 {
+
+class P4Parser {
+public:
+    P4Parser(std::vector<Token> tokens, util::DiagEngine& diags);
+
+    // Parses the full token stream.  Parse errors are recorded in the
+    // DiagEngine; the returned program contains everything that parsed.
+    ast::Program parse_program();
+
+private:
+    struct Bail {};  // thrown to unwind to the nearest declaration boundary
+
+    const Token& peek(int ahead = 0) const;
+    const Token& advance();
+    bool check(TokKind kind) const { return peek().kind == kind; }
+    bool accept(TokKind kind);
+    const Token& expect(TokKind kind, const char* what);
+    // Consumes '>' even when the lexer glued two of them into '>>'
+    // (register<bit<48>> needs this, as in C++).
+    void expect_close_angle(const char* what);
+    [[noreturn]] void fail(const char* message);
+    void sync_to_decl();
+
+    ast::TypeRef parse_type();
+    ast::FieldDecl parse_field();
+    void parse_header(ast::Program& prog);
+    void parse_struct(ast::Program& prog);
+    void parse_typedef(ast::Program& prog);
+    void parse_const(ast::Program& prog);
+    void parse_parser_decl(ast::Program& prog);
+    void parse_control_decl(ast::Program& prog);
+    void parse_package_inst(ast::Program& prog);
+    ast::ExternInstance parse_extern_instance();
+
+    std::vector<ast::Param> parse_params();
+    ast::ParserState parse_parser_state();
+    ast::Keyset parse_keyset();
+
+    ast::ActionDecl parse_action();
+    ast::TableDecl parse_table();
+
+    ast::StmtPtr parse_statement();
+    ast::StmtPtr parse_block();
+
+    ast::ExprPtr parse_expr();
+    ast::ExprPtr parse_ternary();
+    ast::ExprPtr parse_binary(int min_prec);
+    ast::ExprPtr parse_unary();
+    ast::ExprPtr parse_postfix();
+    ast::ExprPtr parse_primary();
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    util::DiagEngine& diags_;
+};
+
+// Convenience: lex + parse.
+ast::Program parse_source(std::string_view source, util::DiagEngine& diags);
+
+}  // namespace ndb::p4

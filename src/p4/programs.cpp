@@ -1,0 +1,766 @@
+#include "p4/programs.h"
+
+namespace ndb::p4::programs {
+
+namespace {
+
+constexpr std::string_view kEthernetAndIpv4 = R"P4(
+const bit<16> TYPE_IPV4 = 0x0800;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+)P4";
+
+}  // namespace
+
+std::string_view passthrough() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply {
+        smeta.egress_spec = 9w1;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view l2_switch() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table dmac {
+        key = { hdr.ethernet.dstAddr : exact; }
+        actions = { forward; drop; }
+        size = 4096;
+        default_action = drop();
+    }
+    apply {
+        dmac.apply();
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view ipv4_router() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action ipv4_forward(bit<48> dstAddr, bit<9> port) {
+        smeta.egress_spec = port;
+        hdr.ethernet.srcAddr = hdr.ethernet.dstAddr;
+        hdr.ethernet.dstAddr = dstAddr;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_lpm {
+        key = { hdr.ipv4.dstAddr : lpm; }
+        actions = { ipv4_forward; drop; NoAction; }
+        size = 1024;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl == 0) {
+                drop();
+            } else {
+                ipv4_lpm.apply();
+                ipv4_checksum_update(hdr.ipv4, hdr.ipv4.hdrChecksum);
+            }
+        } else {
+            drop();
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view reject_filter() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply {
+        smeta.egress_spec = 9w1;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view acl_firewall() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+const bit<8> PROTO_TCP = 6;
+const bit<8> PROTO_UDP = 17;
+
+header l4_ports_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    l4_ports_t l4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_TCP: parse_l4;
+            PROTO_UDP: parse_l4;
+            default: reject;
+        }
+    }
+    state parse_l4 {
+        pkt.extract(hdr.l4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action deny() {
+        mark_to_drop(smeta);
+    }
+    action allow(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table acl {
+        key = {
+            hdr.ipv4.srcAddr  : ternary;
+            hdr.ipv4.dstAddr  : ternary;
+            hdr.ipv4.protocol : ternary;
+            hdr.l4.dstPort    : ternary;
+        }
+        actions = { allow; deny; }
+        size = 256;
+        default_action = deny();
+    }
+    apply {
+        acl.apply();
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.l4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view tunnel() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+const bit<16> TYPE_TUNNEL = 0x1212;
+
+header tunnel_t {
+    bit<16> proto_id;
+    bit<16> dst_id;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    tunnel_t   tunnel;
+    ipv4_t     ipv4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_TUNNEL: parse_tunnel;
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_tunnel {
+        pkt.extract(hdr.tunnel);
+        transition select(hdr.tunnel.proto_id) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action tunnel_forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    action tunnel_encap(bit<16> dst_id, bit<9> port) {
+        hdr.tunnel.setValid();
+        hdr.tunnel.proto_id = hdr.ethernet.etherType;
+        hdr.tunnel.dst_id = dst_id;
+        hdr.ethernet.etherType = TYPE_TUNNEL;
+        smeta.egress_spec = port;
+    }
+    action tunnel_decap(bit<9> port) {
+        hdr.ethernet.etherType = hdr.tunnel.proto_id;
+        hdr.tunnel.setInvalid();
+        smeta.egress_spec = port;
+    }
+    table tunnel_exact {
+        key = { hdr.tunnel.dst_id : exact; }
+        actions = { tunnel_forward; tunnel_decap; drop; }
+        size = 1024;
+        default_action = drop();
+    }
+    table encap_map {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { tunnel_encap; drop; }
+        size = 1024;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.tunnel.isValid()) {
+            tunnel_exact.apply();
+        } else {
+            if (hdr.ipv4.isValid()) {
+                encap_map.apply();
+            } else {
+                drop();
+            }
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.tunnel);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view deep_parser() {
+    static const std::string src = R"P4(
+const bit<16> TYPE_STACK = 0x8847;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header label_t {
+    bit<20> label;
+    bit<3>  tc;
+    bit<1>  bos;
+    bit<8>  ttl;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    label_t l0;
+    label_t l1;
+    label_t l2;
+    label_t l3;
+    label_t l4;
+    label_t l5;
+    label_t l6;
+    label_t l7;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_STACK: parse_l0;
+            default: accept;
+        }
+    }
+    state parse_l0 { pkt.extract(hdr.l0);
+        transition select(hdr.l0.bos) { 1: accept; default: parse_l1; } }
+    state parse_l1 { pkt.extract(hdr.l1);
+        transition select(hdr.l1.bos) { 1: accept; default: parse_l2; } }
+    state parse_l2 { pkt.extract(hdr.l2);
+        transition select(hdr.l2.bos) { 1: accept; default: parse_l3; } }
+    state parse_l3 { pkt.extract(hdr.l3);
+        transition select(hdr.l3.bos) { 1: accept; default: parse_l4; } }
+    state parse_l4 { pkt.extract(hdr.l4);
+        transition select(hdr.l4.bos) { 1: accept; default: parse_l5; } }
+    state parse_l5 { pkt.extract(hdr.l5);
+        transition select(hdr.l5.bos) { 1: accept; default: parse_l6; } }
+    state parse_l6 { pkt.extract(hdr.l6);
+        transition select(hdr.l6.bos) { 1: accept; default: parse_l7; } }
+    state parse_l7 { pkt.extract(hdr.l7); transition accept; }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action pop_forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table label_fib {
+        key = { hdr.l0.label : exact; }
+        actions = { pop_forward; drop; }
+        size = 1024;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.l0.isValid()) {
+            label_fib.apply();
+        } else {
+            smeta.egress_spec = 9w1;
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.l0);
+        pkt.emit(hdr.l1);
+        pkt.emit(hdr.l2);
+        pkt.emit(hdr.l3);
+        pkt.emit(hdr.l4);
+        pkt.emit(hdr.l5);
+        pkt.emit(hdr.l6);
+        pkt.emit(hdr.l7);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view stats_monitor() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata {
+    bit<48> pkt_count;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<48>>(512) port_pkts;
+    counter(512) port_bytes;
+    apply {
+        port_pkts.read(meta.pkt_count, smeta.ingress_port);
+        port_pkts.write(smeta.ingress_port, meta.pkt_count + 1);
+        port_bytes.count(smeta.ingress_port);
+        smeta.egress_spec = 9w2;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view metered_policer() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata {
+    bit<2> color;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    meter(64) port_meter;
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    apply {
+        port_meter.execute(smeta.ingress_port, meta.color);
+        if (meta.color == 2) {
+            drop();
+        } else {
+            smeta.egress_spec = 9w1;
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view variant_a() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+        smeta.egress_spec = 9w3;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view variant_b() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply {
+        hdr.ipv4.ttl = hdr.ipv4.ttl + 255;
+        smeta.egress_spec = 9w3;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view wide_match() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action set_port(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table flow_wide {
+        key = {
+            hdr.ethernet.dstAddr : exact;
+            hdr.ethernet.srcAddr : exact;
+            hdr.ipv4.srcAddr     : exact;
+            hdr.ipv4.dstAddr     : exact;
+            hdr.ipv4.protocol    : exact;
+        }
+        actions = { set_port; drop; }
+        size = 65536;
+        default_action = drop();
+    }
+    table backup {
+        key = { hdr.ipv4.dstAddr : ternary; }
+        actions = { set_port; drop; }
+        size = 8192;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            flow_wide.apply();
+            backup.apply();
+        } else {
+            drop();
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::vector<Sample> all_samples() {
+    return {
+        {"passthrough", passthrough()},
+        {"l2_switch", l2_switch()},
+        {"ipv4_router", ipv4_router()},
+        {"reject_filter", reject_filter()},
+        {"acl_firewall", acl_firewall()},
+        {"tunnel", tunnel()},
+        {"deep_parser", deep_parser()},
+        {"stats_monitor", stats_monitor()},
+        {"metered_policer", metered_policer()},
+        {"variant_a", variant_a()},
+        {"variant_b", variant_b()},
+        {"wide_match", wide_match()},
+    };
+}
+
+}  // namespace ndb::p4::programs

@@ -1,0 +1,64 @@
+// Built-in sample P4 programs.
+//
+// These are the data planes the repository's experiments run: the paper's
+// Section-4 reject-filter scenario, plus the programs backing each use-case
+// in Figure 2 (functional, performance, compiler check, architecture check,
+// resources, status monitoring, comparison).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndb::p4::programs {
+
+// Forwards every packet to port 1; smallest possible pipeline (quickstart).
+std::string_view passthrough();
+
+// L2 switch: exact match on destination MAC -> egress port, default drop.
+std::string_view l2_switch();
+
+// IPv4 router: LPM on dstAddr, MAC rewrite, TTL decrement, checksum update.
+std::string_view ipv4_router();
+
+// The paper's Section-4 scenario: the parser REJECTS every non-IPv4 packet;
+// ingress forwards everything that parses.  Program semantics: non-IPv4 is
+// never forwarded.  A target that does not implement the reject state
+// forwards such packets anyway -- the bug NetDebug catches and software
+// formal verification cannot.
+std::string_view reject_filter();
+
+// ACL firewall: parser rejects non-TCP/UDP; ternary ACL with default deny.
+std::string_view acl_firewall();
+
+// Tunnel encap/decap: setValid/setInvalid, multi-path parser.
+std::string_view tunnel();
+
+// MPLS-like label stack, 8 levels deep: probes target parser-depth limits
+// (architecture check use-case).
+std::string_view deep_parser();
+
+// Per-port registers + counters: status-monitoring use-case.
+std::string_view stats_monitor();
+
+// Meter-based policer: uses an extern the vendor backend cannot compile
+// (compiler check use-case).
+std::string_view metered_policer();
+
+// Two alternative specifications of the same TTL-decrementing forwarder
+// (comparison use-case): variant B computes ttl-1 as ttl+255.
+std::string_view variant_a();
+std::string_view variant_b();
+
+// Wide-key, large tables: resource-quantification use-case.
+std::string_view wide_match();
+
+struct Sample {
+    std::string name;
+    std::string_view source;
+};
+
+// Every sample above, for sweep-style tests and benches.
+std::vector<Sample> all_samples();
+
+}  // namespace ndb::p4::programs

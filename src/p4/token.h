@@ -1,0 +1,47 @@
+// Token definitions for the P4-16 subset lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitvec.h"
+#include "util/diag.h"
+
+namespace ndb::p4 {
+
+enum class TokKind {
+    end_of_file,
+    identifier,
+    number,       // value in Token::value, optional width prefix in Token::width
+
+    // keywords
+    kw_header, kw_struct, kw_typedef, kw_const, kw_parser, kw_control,
+    kw_state, kw_transition, kw_select, kw_default, kw_action, kw_table,
+    kw_key, kw_actions, kw_size, kw_default_action, kw_apply, kw_if,
+    kw_else, kw_exit, kw_return, kw_bit, kw_bool, kw_true, kw_false,
+    kw_in, kw_out, kw_inout, kw_register, kw_counter, kw_meter, kw_main,
+
+    // punctuation / operators
+    l_brace, r_brace, l_paren, r_paren, l_bracket, r_bracket,
+    l_angle, r_angle,             // < >
+    semicolon, colon, comma, dot, assign,
+    plus, minus, star, slash, percent,
+    amp, pipe, caret, tilde, bang,
+    amp_amp, pipe_pipe, eq_eq, bang_eq, le, ge, shl, shr,
+    plus_plus,                    // ++ concatenation
+    amp_amp_amp,                  // &&& ternary mask in keysets
+    underscore,                   // _ wildcard keyset
+    question,                     // ? :
+};
+
+const char* tok_kind_name(TokKind kind);
+
+struct Token {
+    TokKind kind = TokKind::end_of_file;
+    std::string text;          // identifier spelling / raw literal text
+    util::Bitvec value;        // numbers: the literal value (width 64 if unsized)
+    int width = -1;            // numbers: explicit width from "8w255", -1 if unsized
+    util::SourceLoc loc;
+};
+
+}  // namespace ndb::p4

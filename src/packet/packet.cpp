@@ -1,0 +1,58 @@
+#include "packet/packet.h"
+
+#include <stdexcept>
+
+#include "util/hex.h"
+
+namespace ndb::packet {
+
+util::Bitvec Packet::extract_bits(std::size_t bit_offset, int width) const {
+    if (width < 0) throw std::invalid_argument("extract_bits: negative width");
+    if ((bit_offset + static_cast<std::size_t>(width) + 7) / 8 > data_.size() + 0 &&
+        bit_offset + static_cast<std::size_t>(width) > data_.size() * 8) {
+        throw std::out_of_range("extract_bits: past end of packet");
+    }
+    util::Bitvec v(width);
+    for (int i = 0; i < width; ++i) {
+        const std::size_t pos = bit_offset + static_cast<std::size_t>(i);
+        const std::uint8_t byte = data_[pos / 8];
+        const bool bit = (byte >> (7 - pos % 8)) & 1;
+        // Wire bit i (MSB-first) is value bit (width-1-i).
+        if (bit) v.set_bit(width - 1 - i, true);
+    }
+    return v;
+}
+
+void Packet::deposit_bits(std::size_t bit_offset, const util::Bitvec& value) {
+    const int width = value.width();
+    if (bit_offset + static_cast<std::size_t>(width) > data_.size() * 8) {
+        throw std::out_of_range("deposit_bits: past end of packet");
+    }
+    for (int i = 0; i < width; ++i) {
+        const std::size_t pos = bit_offset + static_cast<std::size_t>(i);
+        const std::uint8_t mask = static_cast<std::uint8_t>(1u << (7 - pos % 8));
+        if (value.bit(width - 1 - i)) {
+            data_[pos / 8] |= mask;
+        } else {
+            data_[pos / 8] &= static_cast<std::uint8_t>(~mask);
+        }
+    }
+}
+
+std::uint64_t Packet::u(std::size_t bit_offset, int width) const {
+    if (width > 64) throw std::invalid_argument("u: width > 64");
+    return extract_bits(bit_offset, width).to_u64();
+}
+
+void Packet::set_u(std::size_t bit_offset, int width, std::uint64_t value) {
+    if (width > 64) throw std::invalid_argument("set_u: width > 64");
+    deposit_bits(bit_offset, util::Bitvec(width, value));
+}
+
+void Packet::append(std::span<const std::uint8_t> more) {
+    data_.insert(data_.end(), more.begin(), more.end());
+}
+
+std::string Packet::dump() const { return util::hex_dump(data_); }
+
+}  // namespace ndb::packet

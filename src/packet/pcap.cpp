@@ -1,0 +1,91 @@
+#include "packet/pcap.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ndb::packet {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+
+struct GlobalHeader {
+    std::uint32_t magic;
+    std::uint16_t version_major;
+    std::uint16_t version_minor;
+    std::int32_t thiszone;
+    std::uint32_t sigfigs;
+    std::uint32_t snaplen;
+    std::uint32_t network;  // 1 = LINKTYPE_ETHERNET
+};
+
+struct RecordHeader {
+    std::uint32_t ts_sec;
+    std::uint32_t ts_usec;
+    std::uint32_t incl_len;
+    std::uint32_t orig_len;
+};
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) throw std::runtime_error("PcapWriter: cannot open " + path);
+    const GlobalHeader gh{kMagic, 2, 4, 0, 0, 65535, 1};
+    std::fwrite(&gh, sizeof gh, 1, file_);
+}
+
+PcapWriter::~PcapWriter() {
+    if (file_) std::fclose(file_);
+}
+
+void PcapWriter::write(const Packet& p) {
+    RecordHeader rh;
+    rh.ts_sec = static_cast<std::uint32_t>(p.meta.rx_time_ns / 1'000'000'000ull);
+    rh.ts_usec = static_cast<std::uint32_t>(p.meta.rx_time_ns % 1'000'000'000ull / 1000);
+    rh.incl_len = static_cast<std::uint32_t>(p.size());
+    rh.orig_len = rh.incl_len;
+    std::fwrite(&rh, sizeof rh, 1, file_);
+    std::fwrite(p.bytes().data(), 1, p.size(), file_);
+    ++count_;
+}
+
+std::vector<Packet> read_pcap(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) throw std::runtime_error("read_pcap: cannot open " + path);
+    const auto closer = std::unique_ptr<std::FILE, int (*)(std::FILE*)>(f, &std::fclose);
+
+    GlobalHeader gh;
+    if (std::fread(&gh, sizeof gh, 1, f) != 1) {
+        throw std::runtime_error("read_pcap: truncated global header");
+    }
+    const bool swapped = gh.magic == 0xd4c3b2a1;
+    if (!swapped && gh.magic != kMagic) {
+        throw std::runtime_error("read_pcap: not a pcap file");
+    }
+    const auto bswap32 = [](std::uint32_t v) { return __builtin_bswap32(v); };
+
+    std::vector<Packet> out;
+    for (;;) {
+        RecordHeader rh;
+        if (std::fread(&rh, sizeof rh, 1, f) != 1) break;
+        if (swapped) {
+            rh.ts_sec = bswap32(rh.ts_sec);
+            rh.ts_usec = bswap32(rh.ts_usec);
+            rh.incl_len = bswap32(rh.incl_len);
+            rh.orig_len = bswap32(rh.orig_len);
+        }
+        std::vector<std::uint8_t> data(rh.incl_len);
+        if (rh.incl_len != 0 && std::fread(data.data(), 1, rh.incl_len, f) != rh.incl_len) {
+            throw std::runtime_error("read_pcap: truncated record");
+        }
+        Packet p(std::move(data));
+        p.meta.rx_time_ns =
+            static_cast<std::uint64_t>(rh.ts_sec) * 1'000'000'000ull +
+            static_cast<std::uint64_t>(rh.ts_usec) * 1000ull;
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+}  // namespace ndb::packet

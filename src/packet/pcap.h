@@ -1,0 +1,36 @@
+// Minimal pcap (libpcap classic format) writer/reader so failing test
+// campaigns can be inspected with standard tools.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace ndb::packet {
+
+class PcapWriter {
+public:
+    // Opens (truncates) `path` and writes the global header.
+    // Throws std::runtime_error if the file cannot be opened.
+    explicit PcapWriter(const std::string& path);
+    ~PcapWriter();
+    PcapWriter(const PcapWriter&) = delete;
+    PcapWriter& operator=(const PcapWriter&) = delete;
+
+    // Records the packet with its rx timestamp (ns resolution truncated to us).
+    void write(const Packet& p);
+    std::size_t packets_written() const { return count_; }
+
+private:
+    std::FILE* file_ = nullptr;
+    std::size_t count_ = 0;
+};
+
+// Reads every record of a classic pcap file (both endiannesses).
+// Timestamps land in Packet::meta.rx_time_ns.
+std::vector<Packet> read_pcap(const std::string& path);
+
+}  // namespace ndb::packet

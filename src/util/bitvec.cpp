@@ -1,0 +1,269 @@
+#include "util/bitvec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace ndb::util {
+
+namespace {
+
+int words_for(int width) { return (width + 63) / 64; }
+
+int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+Bitvec::Bitvec(int width) : width_(width), words_(words_for(width), 0) {
+    if (width < 0) throw std::invalid_argument("Bitvec: negative width");
+}
+
+Bitvec::Bitvec(int width, std::uint64_t value) : Bitvec(width) {
+    if (width > 0) {
+        words_[0] = value;
+        normalize();
+    }
+}
+
+Bitvec Bitvec::from_bytes(std::span<const std::uint8_t> be_bytes, int width) {
+    Bitvec r(width);
+    // Byte 0 of the input is the most significant byte of the value.
+    int bit = 0;  // position from the LSB
+    for (auto it = be_bytes.rbegin(); it != be_bytes.rend(); ++it) {
+        for (int b = 0; b < 8; ++b, ++bit) {
+            if (bit >= width) {
+                if ((*it >> b) & 1) {
+                    throw std::invalid_argument("Bitvec::from_bytes: value exceeds width");
+                }
+                continue;
+            }
+            if ((*it >> b) & 1) r.set_bit(bit, true);
+        }
+    }
+    return r;
+}
+
+Bitvec Bitvec::from_hex(std::string_view hex, int width) {
+    if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+    Bitvec r(width);
+    int bit = 0;
+    for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+        if (*it == '_' || *it == '\'') continue;
+        const int d = hex_digit(*it);
+        if (d < 0) throw std::invalid_argument("Bitvec::from_hex: bad digit");
+        for (int b = 0; b < 4; ++b, ++bit) {
+            const bool on = (d >> b) & 1;
+            if (bit >= width) {
+                if (on) throw std::invalid_argument("Bitvec::from_hex: value exceeds width");
+                continue;
+            }
+            if (on) r.set_bit(bit, true);
+        }
+        if (*it == '_') continue;
+    }
+    return r;
+}
+
+Bitvec Bitvec::ones(int width) {
+    Bitvec r(width);
+    for (auto& w : r.words_) w = ~0ull;
+    r.normalize();
+    return r;
+}
+
+void Bitvec::normalize() {
+    if (words_.empty()) return;
+    const int rem = width_ % 64;
+    if (rem != 0) {
+        words_.back() &= (~0ull >> (64 - rem));
+    }
+}
+
+std::uint64_t Bitvec::to_u64() const { return words_.empty() ? 0 : words_[0]; }
+
+bool Bitvec::fits_u64() const {
+    for (std::size_t i = 1; i < words_.size(); ++i) {
+        if (words_[i] != 0) return false;
+    }
+    return true;
+}
+
+bool Bitvec::bit(int i) const {
+    if (i < 0 || i >= width_) throw std::out_of_range("Bitvec::bit");
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void Bitvec::set_bit(int i, bool v) {
+    if (i < 0 || i >= width_) throw std::out_of_range("Bitvec::set_bit");
+    const std::uint64_t mask = 1ull << (i % 64);
+    if (v) {
+        words_[i / 64] |= mask;
+    } else {
+        words_[i / 64] &= ~mask;
+    }
+}
+
+std::vector<std::uint8_t> Bitvec::to_bytes() const {
+    const int n = (width_ + 7) / 8;
+    std::vector<std::uint8_t> out(n, 0);
+    for (int i = 0; i < width_; ++i) {
+        if (!bit(i)) continue;
+        const int byte_from_lsb = i / 8;
+        out[n - 1 - byte_from_lsb] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+    return out;
+}
+
+std::string Bitvec::to_hex() const {
+    static const char* digits = "0123456789abcdef";
+    const int n = std::max(1, (width_ + 3) / 4);
+    std::string s = "0x";
+    for (int i = n - 1; i >= 0; --i) {
+        int d = 0;
+        for (int b = 0; b < 4; ++b) {
+            const int pos = i * 4 + b;
+            if (pos < width_ && bit(pos)) d |= 1 << b;
+        }
+        s.push_back(digits[d]);
+    }
+    return s;
+}
+
+std::string Bitvec::to_string() const {
+    return std::to_string(width_) + "w" + to_hex();
+}
+
+bool Bitvec::is_zero() const {
+    return std::all_of(words_.begin(), words_.end(),
+                       [](std::uint64_t w) { return w == 0; });
+}
+
+bool Bitvec::is_ones() const { return *this == ones(width_); }
+
+Bitvec Bitvec::add(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::add width mismatch");
+    Bitvec r(width_);
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < word_count(); ++i) {
+        const unsigned __int128 s =
+            static_cast<unsigned __int128>(words_[i]) + o.words_[i] + carry;
+        r.words_[i] = static_cast<std::uint64_t>(s);
+        carry = s >> 64;
+    }
+    r.normalize();
+    return r;
+}
+
+Bitvec Bitvec::sub(const Bitvec& o) const { return add(o.neg()); }
+
+Bitvec Bitvec::neg() const { return bnot().add(Bitvec(width_, width_ ? 1 : 0)); }
+
+Bitvec Bitvec::mul(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::mul width mismatch");
+    Bitvec r(width_);
+    for (int i = 0; i < word_count(); ++i) {
+        unsigned __int128 carry = 0;
+        for (int j = 0; i + j < word_count(); ++j) {
+            const unsigned __int128 cur =
+                static_cast<unsigned __int128>(words_[i]) * o.words_[j] +
+                r.words_[i + j] + carry;
+            r.words_[i + j] = static_cast<std::uint64_t>(cur);
+            carry = cur >> 64;
+        }
+    }
+    r.normalize();
+    return r;
+}
+
+Bitvec Bitvec::band(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::band width mismatch");
+    Bitvec r(width_);
+    for (int i = 0; i < word_count(); ++i) r.words_[i] = words_[i] & o.words_[i];
+    return r;
+}
+
+Bitvec Bitvec::bor(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::bor width mismatch");
+    Bitvec r(width_);
+    for (int i = 0; i < word_count(); ++i) r.words_[i] = words_[i] | o.words_[i];
+    return r;
+}
+
+Bitvec Bitvec::bxor(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::bxor width mismatch");
+    Bitvec r(width_);
+    for (int i = 0; i < word_count(); ++i) r.words_[i] = words_[i] ^ o.words_[i];
+    return r;
+}
+
+Bitvec Bitvec::bnot() const {
+    Bitvec r(width_);
+    for (int i = 0; i < word_count(); ++i) r.words_[i] = ~words_[i];
+    r.normalize();
+    return r;
+}
+
+Bitvec Bitvec::shl(int amount) const {
+    if (amount < 0) throw std::invalid_argument("Bitvec::shl negative shift");
+    Bitvec r(width_);
+    for (int i = width_ - 1; i >= amount; --i) r.set_bit(i, bit(i - amount));
+    return r;
+}
+
+Bitvec Bitvec::lshr(int amount) const {
+    if (amount < 0) throw std::invalid_argument("Bitvec::lshr negative shift");
+    Bitvec r(width_);
+    for (int i = 0; i + amount < width_; ++i) r.set_bit(i, bit(i + amount));
+    return r;
+}
+
+bool Bitvec::eq(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::eq width mismatch");
+    return words_ == o.words_;
+}
+
+bool Bitvec::ult(const Bitvec& o) const {
+    if (o.width_ != width_) throw std::invalid_argument("Bitvec::ult width mismatch");
+    for (int i = word_count() - 1; i >= 0; --i) {
+        if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+    }
+    return false;
+}
+
+bool Bitvec::ule(const Bitvec& o) const { return !o.ult(*this); }
+
+Bitvec Bitvec::slice(int hi, int lo) const {
+    if (lo < 0 || hi >= width_ || hi < lo) throw std::out_of_range("Bitvec::slice");
+    Bitvec r(hi - lo + 1);
+    for (int i = lo; i <= hi; ++i) r.set_bit(i - lo, bit(i));
+    return r;
+}
+
+Bitvec Bitvec::concat(const Bitvec& hi, const Bitvec& lo) {
+    Bitvec r(hi.width_ + lo.width_);
+    for (int i = 0; i < lo.width_; ++i) r.set_bit(i, lo.bit(i));
+    for (int i = 0; i < hi.width_; ++i) r.set_bit(lo.width_ + i, hi.bit(i));
+    return r;
+}
+
+Bitvec Bitvec::resize(int new_width) const {
+    Bitvec r(new_width);
+    const int n = std::min(width_, new_width);
+    for (int i = 0; i < n; ++i) r.set_bit(i, bit(i));
+    return r;
+}
+
+std::size_t Bitvec::hash() const {
+    std::size_t h = static_cast<std::size_t>(width_) * 0x9e3779b97f4a7c15ull;
+    for (const auto w : words_) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+}  // namespace ndb::util

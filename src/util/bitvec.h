@@ -1,0 +1,107 @@
+// Fixed-width bit-vector value type.
+//
+// Bitvec is the single runtime value representation shared by the packet
+// substrate, the P4 interpreter, the table engines and the symbolic
+// bit-blaster.  Widths are arbitrary (bounded only by memory); all
+// arithmetic wraps modulo 2^width, matching P4-16 bit<N> semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndb::util {
+
+class Bitvec {
+public:
+    // The zero-width vector: identity for concat, used for "no value".
+    Bitvec() = default;
+
+    // Zero value of the given width (width >= 0).
+    explicit Bitvec(int width);
+
+    // Low 64 bits taken from `value`, truncated to `width`.
+    Bitvec(int width, std::uint64_t value);
+
+    // Big-endian byte image, as it appears on the wire.  The value uses the
+    // low `width` bits of the byte string; excess high-order bits must be 0.
+    static Bitvec from_bytes(std::span<const std::uint8_t> be_bytes, int width);
+
+    // Parses "dead_beef" / "0xdeadbeef" style strings.  Throws
+    // std::invalid_argument on junk or overflow of `width`.
+    static Bitvec from_hex(std::string_view hex, int width);
+
+    // All-ones value of the given width.
+    static Bitvec ones(int width);
+
+    int width() const { return width_; }
+    bool empty() const { return width_ == 0; }
+
+    // Low 64 bits of the value (wider values are truncated).
+    std::uint64_t to_u64() const;
+
+    // True when the value fits in 64 bits.
+    bool fits_u64() const;
+
+    bool bit(int i) const;
+    void set_bit(int i, bool v);
+
+    // Big-endian image, ceil(width/8) bytes.
+    std::vector<std::uint8_t> to_bytes() const;
+
+    std::string to_hex() const;           // e.g. "0x0a00_0001" without separators
+    std::string to_string() const;        // e.g. "32w0x0a000001"
+
+    bool is_zero() const;
+    bool is_ones() const;
+
+    // --- arithmetic, all results have this->width() and wrap ---
+    Bitvec add(const Bitvec& o) const;
+    Bitvec sub(const Bitvec& o) const;
+    Bitvec mul(const Bitvec& o) const;
+    Bitvec band(const Bitvec& o) const;
+    Bitvec bor(const Bitvec& o) const;
+    Bitvec bxor(const Bitvec& o) const;
+    Bitvec bnot() const;
+    Bitvec shl(int amount) const;
+    Bitvec lshr(int amount) const;
+    Bitvec neg() const;
+
+    // --- comparisons (operands must have equal width) ---
+    bool eq(const Bitvec& o) const;
+    bool ult(const Bitvec& o) const;
+    bool ule(const Bitvec& o) const;
+    bool ugt(const Bitvec& o) const { return o.ult(*this); }
+    bool uge(const Bitvec& o) const { return o.ule(*this); }
+
+    // Bits [hi..lo] inclusive, P4 slice semantics; result width hi-lo+1.
+    Bitvec slice(int hi, int lo) const;
+
+    // `hi` occupies the high-order bits of the result.
+    static Bitvec concat(const Bitvec& hi, const Bitvec& lo);
+
+    // Zero-extend or truncate to new_width.
+    Bitvec resize(int new_width) const;
+
+    std::size_t hash() const;
+
+    friend bool operator==(const Bitvec& a, const Bitvec& b) {
+        return a.width_ == b.width_ && a.words_ == b.words_;
+    }
+    friend bool operator!=(const Bitvec& a, const Bitvec& b) { return !(a == b); }
+
+private:
+    void normalize();  // clears bits above width_
+    int word_count() const { return static_cast<int>(words_.size()); }
+
+    int width_ = 0;
+    std::vector<std::uint64_t> words_;  // little-endian words
+};
+
+struct BitvecHash {
+    std::size_t operator()(const Bitvec& v) const { return v.hash(); }
+};
+
+}  // namespace ndb::util

@@ -1,0 +1,39 @@
+#include "util/diag.h"
+
+namespace ndb::util {
+
+std::string SourceLoc::to_string() const {
+    if (!known()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::to_string() const {
+    const char* sev = "error";
+    if (severity == DiagSeverity::warning) sev = "warning";
+    if (severity == DiagSeverity::note) sev = "note";
+    return loc.to_string() + ": " + sev + ": " + message;
+}
+
+void DiagEngine::error(SourceLoc loc, std::string message) {
+    diags_.push_back({DiagSeverity::error, loc, std::move(message)});
+    ++error_count_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string message) {
+    diags_.push_back({DiagSeverity::warning, loc, std::move(message)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string message) {
+    diags_.push_back({DiagSeverity::note, loc, std::move(message)});
+}
+
+std::string DiagEngine::report() const {
+    std::string s;
+    for (const auto& d : diags_) {
+        s += d.to_string();
+        s += '\n';
+    }
+    return s;
+}
+
+}  // namespace ndb::util

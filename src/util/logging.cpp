@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace ndb::util {
+
+const char* log_level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::trace: return "TRACE";
+        case LogLevel::debug: return "DEBUG";
+        case LogLevel::info: return "INFO";
+        case LogLevel::warn: return "WARN";
+        case LogLevel::error: return "ERROR";
+        case LogLevel::off: return "OFF";
+    }
+    return "?";
+}
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+Logger::Logger() = default;
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::write(LogLevel level, std::string_view tag, std::string_view msg) {
+    if (sink_) {
+        sink_(level, tag, msg);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
+                 static_cast<int>(tag.size()), tag.data(),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace ndb::util

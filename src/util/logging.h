@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// Kept deliberately small: a global level, a sink the tests can redirect,
+// and a stream-style macro-free API.  Components pass a short tag so device
+// traces can be filtered in test output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ndb::util {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+const char* log_level_name(LogLevel level);
+
+// Process-wide log configuration.  Not thread-safe by design: the simulator
+// is single-threaded and tests set it once up front.
+class Logger {
+public:
+    using Sink = std::function<void(LogLevel, std::string_view tag, std::string_view msg)>;
+
+    static Logger& instance();
+
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    // Replaces the sink; pass nullptr to restore stderr output.
+    void set_sink(Sink sink);
+
+    bool enabled(LogLevel level) const { return level >= level_; }
+    void write(LogLevel level, std::string_view tag, std::string_view msg);
+
+private:
+    Logger();
+    LogLevel level_ = LogLevel::warn;
+    Sink sink_;
+};
+
+// Builds one log line; emits on destruction.
+class LogLine {
+public:
+    LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+    ~LogLine() {
+        if (Logger::instance().enabled(level_)) {
+            Logger::instance().write(level_, tag_, out_.str());
+        }
+    }
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine& operator<<(const T& v) {
+        if (Logger::instance().enabled(level_)) out_ << v;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string tag_;
+    std::ostringstream out_;
+};
+
+inline LogLine log_trace(std::string_view tag) { return {LogLevel::trace, tag}; }
+inline LogLine log_debug(std::string_view tag) { return {LogLevel::debug, tag}; }
+inline LogLine log_info(std::string_view tag) { return {LogLevel::info, tag}; }
+inline LogLine log_warn(std::string_view tag) { return {LogLevel::warn, tag}; }
+inline LogLine log_error(std::string_view tag) { return {LogLevel::error, tag}; }
+
+}  // namespace ndb::util

@@ -1,0 +1,67 @@
+// Deterministic PRNG for workload generation and property tests.
+//
+// xoshiro256** seeded via SplitMix64.  Deterministic across platforms so
+// benchmark workloads and failing property-test seeds are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ndb::util {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto& slot : s_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            slot = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    // Uniform in [0, bound); bound must be nonzero.
+    std::uint64_t next_below(std::uint64_t bound) {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next_u64();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    // Uniform in [lo, hi] inclusive.
+    std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+        return lo + next_below(hi - lo + 1);
+    }
+
+    bool next_bool(double p_true = 0.5) {
+        return next_double() < p_true;
+    }
+
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4];
+};
+
+}  // namespace ndb::util

@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ndb::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string s(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+    if (n > 0) std::vsnprintf(s.data(), s.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return s;
+}
+
+std::string pad(std::string_view text, std::size_t width) {
+    std::string s{text.substr(0, width)};
+    s.resize(width, ' ');
+    return s;
+}
+
+}  // namespace ndb::util

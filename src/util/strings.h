@@ -1,0 +1,20 @@
+// Small string helpers used across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndb::util {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Left-pads or truncates `text` to exactly `width` columns (for tables).
+std::string pad(std::string_view text, std::size_t width);
+
+}  // namespace ndb::util

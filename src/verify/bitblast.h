@@ -1,0 +1,51 @@
+// Bit-blaster: lowers bit-vector terms to CNF via the Tseitin transform.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "verify/expr.h"
+#include "verify/sat.h"
+
+namespace ndb::verify {
+
+class BitBlaster {
+public:
+    explicit BitBlaster(SatSolver& solver);
+
+    // Returns the literal per bit, LSB first.  Results are cached per node,
+    // and per var_id so the same variable is consistent across terms.
+    std::vector<Lit> blast(const SExpr& e);
+
+    // Asserts a boolean term.
+    void assert_true(const SExpr& e);
+
+    // Reads a term's value out of the model (call after SatResult::sat).
+    Bitvec model_value(const SExpr& e);
+
+    Lit true_lit();
+    Lit false_lit() { return neg(true_lit()); }
+
+private:
+    Lit fresh();
+    Lit lit_and(Lit a, Lit b);
+    Lit lit_or(Lit a, Lit b);
+    Lit lit_xor(Lit a, Lit b);
+    Lit lit_mux(Lit sel, Lit then_lit, Lit else_lit);
+    // sum, carry-out of a full adder.
+    std::pair<Lit, Lit> full_adder(Lit a, Lit b, Lit carry);
+    std::vector<Lit> add_vectors(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                                 Lit carry_in);
+    Lit equals(const std::vector<Lit>& a, const std::vector<Lit>& b);
+    Lit less_than(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                  bool or_equal);
+    std::vector<Lit> shift(const std::vector<Lit>& value,
+                           const std::vector<Lit>& amount, bool left);
+
+    SatSolver& solver_;
+    std::unordered_map<const Node*, std::vector<Lit>> cache_;
+    std::unordered_map<int, std::vector<Lit>> var_bits_;
+    Lit const_true_ = -1;
+};
+
+}  // namespace ndb::verify

