@@ -8,7 +8,10 @@ using dataplane::Stage;
 
 std::string LocalizeResult::to_string() const {
     if (!diverged) {
-        return util::format("no divergence (probes=%d replays=%llu)", probes,
+        return util::format("%s (probes=%d replays=%llu)",
+                            description.empty() ? "no divergence"
+                                                : description.c_str(),
+                            probes,
                             static_cast<unsigned long long>(packets_replayed));
     }
     return util::format("fault localized to %s stage: %s (probes=%d replays=%llu)",
@@ -56,12 +59,21 @@ const std::optional<dataplane::PacketState>* tap_of(
     return nullptr;
 }
 
+// Final description for a run in which no probe reported a divergence.
+const char* settled_description(bool conclusive) {
+    return conclusive ? "no stage diverged"
+                      : "inconclusive: no tap records captured "
+                        "(tap ring disabled on a device?)";
+}
+
 }  // namespace
 
 std::optional<std::string> FaultLocalizer::probe(Stage stage,
                                                  const packet::Packet& stimulus,
                                                  LocalizeResult& accounting) {
     ++accounting.probes;
+    const bool dut_taps_before = dut_.taps_enabled();
+    const bool golden_taps_before = golden_.taps_enabled();
     dut_.set_taps_enabled(true);
     golden_.set_taps_enabled(true);
     dut_.clear_tap_records();
@@ -74,13 +86,17 @@ std::optional<std::string> FaultLocalizer::probe(Stage stage,
         dut_.inject(std::move(p1));
         golden_.inject(std::move(p2));
         accounting.packets_replayed += 2;
-        for (int port = 0; port < dut_.config().num_ports; ++port) {
-            dut_.drain_port(static_cast<std::uint32_t>(port));
-            golden_.drain_port(static_cast<std::uint32_t>(port));
-        }
+        dut_.flush();
+        golden_.flush();
         const auto& taps_dut = dut_.tap_records();
         const auto& taps_gold = golden_.tap_records();
-        if (taps_dut.empty() || taps_gold.empty()) continue;
+        if (taps_dut.empty() || taps_gold.empty()) {
+            // Recording is deterministic per device: an empty ring right
+            // after an injection means it cannot record, so further
+            // replays of this probe cannot become observable either.
+            break;
+        }
+        accounting.conclusive = true;
         const auto& rd = taps_dut.back().result;
         const auto& rg = taps_gold.back().result;
 
@@ -92,32 +108,47 @@ std::optional<std::string> FaultLocalizer::probe(Stage stage,
                                       dataplane::stage_name(rd.silent_drop_stage));
             break;
         }
-        const auto* tap_d = tap_of(rd, stage);
-        const auto* tap_g = tap_of(rg, stage);
-        if (!tap_d || !tap_g) continue;
-        if (tap_d->has_value() != tap_g->has_value()) {
-            divergence = "packet reached this stage on only one device";
+        // Header states can agree while the verdicts do not (the SDNet
+        // reject bug extracts identical headers and then mis-accepts).
+        // The parser precedes every probed stage, so this check runs
+        // unconditionally: probe() must report divergence at-or-before the
+        // probed stage or localize_binary's bisection loses monotonicity.
+        if (rd.parser_verdict != rg.parser_verdict) {
+            divergence = util::format(
+                "parser verdict differs: dut=%s golden=%s",
+                dataplane::parser_verdict_name(rd.parser_verdict),
+                dataplane::parser_verdict_name(rg.parser_verdict));
             break;
         }
-        if (!tap_d->has_value()) {
-            // Neither pipeline reached the stage (e.g. both dropped earlier):
-            // compare dispositions instead.
-            if (rd.disposition != rg.disposition) {
-                divergence = util::format(
-                    "disposition differs: dut=%s golden=%s",
-                    dataplane::disposition_name(rd.disposition),
-                    dataplane::disposition_name(rg.disposition));
-                break;
+        // Compare every tap at-or-before the probed stage, front to back:
+        // a divergence confined to an early tap may be overwritten by later
+        // stages, and reporting the earliest observable one is what keeps
+        // the bisection monotone.
+        for (int s = 0; s <= static_cast<int>(stage) && !divergence; ++s) {
+            const Stage at = static_cast<Stage>(s);
+            const auto* tap_d = tap_of(rd, at);
+            const auto* tap_g = tap_of(rg, at);
+            if (!tap_d || !tap_g) continue;
+            if (tap_d->has_value() != tap_g->has_value()) {
+                divergence = util::format("packet reached %s on only one device",
+                                          dataplane::stage_name(at));
+            } else if (tap_d->has_value()) {
+                divergence = diff_states(dut_.program(), **tap_d, **tap_g);
             }
-            continue;
         }
-        if (auto diff = diff_states(dut_.program(), **tap_d, **tap_g)) {
-            divergence = std::move(diff);
+        if (divergence) break;
+        // No tap divergence up to the probed stage; when neither pipeline
+        // reached it, the dispositions are the remaining signal.
+        const auto* probed = tap_of(rd, stage);
+        if (probed && !probed->has_value() && rd.disposition != rg.disposition) {
+            divergence = util::format("disposition differs: dut=%s golden=%s",
+                                      dataplane::disposition_name(rd.disposition),
+                                      dataplane::disposition_name(rg.disposition));
             break;
         }
     }
-    dut_.set_taps_enabled(false);
-    golden_.set_taps_enabled(false);
+    dut_.set_taps_enabled(dut_taps_before);
+    golden_.set_taps_enabled(golden_taps_before);
     return divergence;
 }
 
@@ -130,8 +161,12 @@ LocalizeResult FaultLocalizer::localize_linear(const packet::Packet& stimulus) {
             result.description = std::move(*diff);
             return result;
         }
+        // A blind probe stays blind: recording does not depend on the stage.
+        if (!result.conclusive) break;
     }
-    result.description = "no stage diverged";
+    // A probe that captured no taps on either device cannot tell a clean
+    // device from a broken one; say so instead of claiming a clean bill.
+    result.description = settled_description(result.conclusive);
     return result;
 }
 
@@ -151,6 +186,9 @@ LocalizeResult FaultLocalizer::localize_binary(const packet::Packet& stimulus) {
             description = std::move(*diff);
             hi = mid - 1;
         } else {
+            // A blind probe stays blind: recording does not depend on the
+            // stage, so further bisection cannot become observable.
+            if (!result.conclusive) break;
             lo = mid + 1;
         }
     }
@@ -159,7 +197,7 @@ LocalizeResult FaultLocalizer::localize_binary(const packet::Packet& stimulus) {
         result.stage = stages[first_bad];
         result.description = std::move(description);
     } else {
-        result.description = "no stage diverged";
+        result.description = settled_description(result.conclusive);
     }
     return result;
 }

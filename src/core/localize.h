@@ -25,6 +25,11 @@ struct LocalizeResult {
     int probes = 0;              // tap-arm/replay rounds
     std::uint64_t packets_replayed = 0;
 
+    // False when no probe captured tap records on both devices (e.g. a tap
+    // ring is disabled): the comparison saw nothing, so a non-diverged
+    // result is NOT a clean bill of health.
+    bool conclusive = false;
+
     std::string to_string() const;
 };
 
@@ -34,6 +39,10 @@ public:
     // differ; header layouts are identical by construction).
     // `trigger_period`: replay this many packets per probe so that
     // every-Nth faults fire at least once.
+    //
+    // Probing restores each device's taps-enabled flag on exit, but the
+    // tap RINGS are working storage: any records the caller collected
+    // before localization are cleared by the replays.
     FaultLocalizer(target::Device& dut, target::Device& golden,
                    std::uint64_t trigger_period = 1);
 
@@ -46,6 +55,8 @@ public:
 private:
     // Replays the stimulus on both devices and reports whether the states
     // at `stage` differ (or the packet already vanished on the DUT).
+    // Marks `accounting.conclusive` once a replay produced tap records on
+    // both devices, i.e. the comparison actually saw something.
     std::optional<std::string> probe(dataplane::Stage stage,
                                      const packet::Packet& stimulus,
                                      LocalizeResult& accounting);

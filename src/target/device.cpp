@@ -1,0 +1,108 @@
+#include "target/device.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "target/sim_device.h"
+
+namespace ndb::target {
+
+dataplane::Quirks sdnet_quirks() {
+    dataplane::Quirks q;
+    // Headline bug (paper Section 4): the toolchain never implemented the
+    // parser reject state, so must-drop packets sail through.
+    q.reject_as_accept = true;
+    // The hardware parser runs out of stages before deep header stacks end.
+    q.parser_depth_limit = 4;
+    // Right shifts are emitted as left shifts.
+    q.shift_miscompile = true;
+    // TCAM priority encoder wired backwards: lowest priority wins.
+    q.ternary_priority_inverted = true;
+    return q;
+}
+
+namespace {
+
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, DeviceFactory> factories;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+bool register_locked(const std::string& name, DeviceFactory factory) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    return r.factories.emplace(name, std::move(factory)).second;
+}
+
+void ensure_builtin_backends() {
+    static const bool once = [] {
+        register_locked("reference", [](std::optional<dataplane::Quirks> q) {
+            DeviceConfig cfg;
+            if (q) cfg.quirks = *q;
+            return make_reference_device(std::move(cfg));
+        });
+        register_locked("sdnet", [](std::optional<dataplane::Quirks> q) {
+            // Build directly so an explicit all-defaults override yields a
+            // quirk-free device (make_sdnet_device would re-apply the
+            // catalogue, which is right for it but wrong for an override).
+            DeviceConfig cfg;
+            cfg.backend = "sdnet";
+            cfg.quirks = q ? *q : sdnet_quirks();
+            return std::unique_ptr<Device>(
+                std::make_unique<SimDevice>(std::move(cfg)));
+        });
+        return true;
+    }();
+    (void)once;
+}
+
+}  // namespace
+
+std::unique_ptr<Device> make_reference_device(DeviceConfig config) {
+    if (config.backend.empty()) config.backend = "reference";
+    return std::make_unique<SimDevice>(std::move(config));
+}
+
+std::unique_ptr<Device> make_sdnet_device(DeviceConfig config) {
+    if (config.backend.empty()) config.backend = "sdnet";
+    if (!config.quirks.any()) config.quirks = sdnet_quirks();
+    return std::make_unique<SimDevice>(std::move(config));
+}
+
+bool register_backend(const std::string& name, DeviceFactory factory) {
+    // Builtins first, so a client registration can never shadow them.
+    ensure_builtin_backends();
+    return register_locked(name, std::move(factory));
+}
+
+std::vector<std::string> registered_backends() {
+    ensure_builtin_backends();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.factories.size());
+    for (const auto& [name, factory] : r.factories) names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<Device> make_device(std::string_view name,
+                                    std::optional<dataplane::Quirks> quirks_override) {
+    ensure_builtin_backends();
+    DeviceFactory factory;
+    {
+        Registry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mutex);
+        const auto it = r.factories.find(std::string(name));
+        if (it == r.factories.end()) return nullptr;
+        factory = it->second;
+    }
+    return factory(std::move(quirks_override));
+}
+
+}  // namespace ndb::target

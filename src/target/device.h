@@ -1,0 +1,146 @@
+// The device layer: what a "real target" looks like to the rest of the
+// framework (paper Figure 1).
+//
+// A target::Device is one switch: it accepts a compiled program image,
+// packets on its front-panel ports, and management-plane commands.  It
+// exposes the three surfaces the paper's architecture needs:
+//
+//   * the data path       -- inject() / drain_port(), per-port egress queues;
+//   * the management path -- the full control::RuntimeApi (a Device IS a
+//                            RuntimeApi, so control::dispatch and therefore
+//                            RuntimeClient message traffic work end-to-end);
+//   * the debug path      -- stage taps (tap_records()) that give NetDebug
+//                            the internal visibility external testers lack.
+//
+// Backends differ only in how faithfully they execute P4: the reference
+// backend implements the language semantics exactly, the SDNet-like backend
+// carries the paper's bug catalogue as a dataplane::Quirks value.  New
+// backends register themselves with register_backend() so campaigns and the
+// fault localizer (which needs a DUT *and* a golden device) compose without
+// touching callers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "control/runtime.h"
+#include "dataplane/pipeline.h"
+#include "dataplane/quirks.h"
+#include "p4/ir.h"
+#include "packet/packet.h"
+
+namespace ndb::target {
+
+// Static device parameters, fixed for the lifetime of one device instance.
+struct DeviceConfig {
+    std::string backend;  // filled in by the factory when left empty
+    int num_ports = 4;
+
+    // Deterministic virtual clock: now_ns() starts at epoch_ns and advances
+    // ns_per_packet per injected packet, so every run of a campaign produces
+    // the identical timeline.  Forwarded packets are stamped
+    // rx_time + cycles * ns_per_cycle on egress.
+    std::uint64_t epoch_ns = 1'000'000;
+    std::uint64_t ns_per_packet = 672;  // 84 wire bytes at 1 Gb/s (8 ns/byte)
+    std::uint64_t ns_per_cycle = 4;
+
+    // Tap ring size; the oldest half is discarded when it fills, and 0
+    // disables recording entirely.
+    std::size_t max_tap_records = 4096;
+
+    // Backend behaviour deviations; all-defaults = faithful P4 semantics.
+    dataplane::Quirks quirks;
+};
+
+// One traced packet: the stimulus as injected plus everything the pipeline
+// did with it.  Only recorded while taps are enabled.
+struct TapRecord {
+    packet::Packet input;
+    dataplane::PipelineResult result;
+};
+
+class Device : public control::RuntimeApi {
+public:
+    ~Device() override = default;
+
+    // Installs a compiled program.  The device keeps its own copy of the
+    // image (callers may discard `prog` immediately); any previously loaded
+    // program, its tables and its dynamic state are replaced.
+    virtual control::Status load(const p4::ir::Program& prog) = 0;
+    virtual bool loaded() const = 0;
+
+    // The installed image.  Throws std::logic_error when nothing is loaded.
+    virtual const p4::ir::Program& program() const = 0;
+
+    virtual const DeviceConfig& config() const = 0;
+
+    // --- data path ----------------------------------------------------------
+    virtual void inject(packet::Packet pkt) = 0;
+    virtual std::vector<packet::Packet> drain_port(std::uint32_t port) = 0;
+
+    // Drains and discards everything pending on every port.
+    void flush() {
+        for (int port = 0; port < config().num_ports; ++port) {
+            drain_port(static_cast<std::uint32_t>(port));
+        }
+    }
+
+    // --- debug path ---------------------------------------------------------
+    // Recording is synchronous: while taps are enabled (and the ring has
+    // capacity), every inject() appends its record before returning, so an
+    // empty ring right after an injection means this device cannot record.
+    // FaultLocalizer relies on this to tell "clean" from "unobservable";
+    // backends wrapping asynchronous hardware must buffer until records
+    // are available rather than return an empty ring early.
+    virtual void set_taps_enabled(bool on) = 0;
+    virtual bool taps_enabled() const = 0;
+    virtual const std::vector<TapRecord>& tap_records() const = 0;
+    virtual void clear_tap_records() = 0;
+
+    // Deterministic virtual device clock.
+    virtual std::uint64_t now_ns() const = 0;
+
+    // The management surface, for callers that want the role spelled out
+    // (control::dispatch also accepts the Device itself).
+    control::RuntimeApi& runtime() { return *this; }
+};
+
+// The paper's bug catalogue for the SDNet-like backend, headed by the
+// Section-4 discovery that the parser reject state was never implemented.
+dataplane::Quirks sdnet_quirks();
+
+// Faithful P4 semantics: the golden device of every comparison.
+std::unique_ptr<Device> make_reference_device(DeviceConfig config = {});
+
+// The vendor backend.  When `config.quirks` is all-defaults the full
+// sdnet_quirks() catalogue is applied; a config with any quirk already set
+// replaces the catalogue wholesale (use make_device("sdnet", override) for
+// the same semantics by name).
+std::unique_ptr<Device> make_sdnet_device(DeviceConfig config = {});
+
+// --- backend registry ---------------------------------------------------------
+
+// A factory receives the quirks override requested through make_device();
+// std::nullopt means "use the backend's own catalogue".
+using DeviceFactory =
+    std::function<std::unique_ptr<Device>(std::optional<dataplane::Quirks>)>;
+
+// Registers a backend under `name`; returns false (and changes nothing)
+// when the name is already taken.  "reference" and "sdnet" are pre-registered.
+bool register_backend(const std::string& name, DeviceFactory factory);
+
+// Names of every registered backend, sorted.
+std::vector<std::string> registered_backends();
+
+// Instantiates a backend by name, optionally overriding its quirk catalogue.
+// Returns nullptr for an unknown name.
+std::unique_ptr<Device> make_device(
+    std::string_view name,
+    std::optional<dataplane::Quirks> quirks_override = std::nullopt);
+
+}  // namespace ndb::target

@@ -1,0 +1,344 @@
+#include "target/sim_device.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace ndb::target {
+
+using control::Status;
+
+SimDevice::SimDevice(DeviceConfig config) : config_(std::move(config)) {
+    config_.num_ports = std::max(config_.num_ports, 1);
+    clock_ns_ = config_.epoch_ns;
+    egress_queues_.resize(static_cast<std::size_t>(config_.num_ports));
+    port_counters_.resize(static_cast<std::size_t>(config_.num_ports));
+}
+
+Status SimDevice::load(const p4::ir::Program& prog) {
+    prog_ = std::make_unique<p4::ir::Program>(prog.clone());
+    tables_ = std::make_unique<dataplane::TableSet>(
+        *prog_, config_.quirks.table_size_clamp,
+        config_.quirks.ternary_priority_inverted);
+    stateful_ = std::make_unique<dataplane::StatefulSet>(*prog_);
+    dataplane::PipelineOptions options;
+    options.quirks = config_.quirks;
+    options.capture_taps = taps_enabled_;
+    pipeline_ = std::make_unique<dataplane::Pipeline>(*prog_, *tables_, *stateful_,
+                                                      std::move(options));
+    clear_dynamic_state();
+    return Status::success();
+}
+
+void SimDevice::clear_dynamic_state() {
+    for (auto& q : egress_queues_) q.clear();
+    std::fill(port_counters_.begin(), port_counters_.end(),
+              control::PortCounters{});
+    taps_.clear();
+}
+
+const p4::ir::Program& SimDevice::program() const {
+    if (!prog_) {
+        throw std::logic_error("target::Device: no program loaded");
+    }
+    return *prog_;
+}
+
+void SimDevice::inject(packet::Packet pkt) {
+    if (!pipeline_) return;  // no image: the wire is dead
+
+    if (pkt.meta.rx_time_ns == 0) pkt.meta.rx_time_ns = clock_ns_;
+    // The virtual clock tracks the line: one packet slot per injection, and
+    // never behind the newest admitted packet.
+    clock_ns_ = std::max(clock_ns_, pkt.meta.rx_time_ns) + config_.ns_per_packet;
+
+    if (pkt.meta.ingress_port < static_cast<std::uint32_t>(config_.num_ports)) {
+        auto& rx = port_counters_[pkt.meta.ingress_port];
+        ++rx.rx_packets;
+        rx.rx_bytes += pkt.size();
+    }
+
+    dataplane::PipelineResult result = pipeline_->process(pkt);
+
+    if (result.disposition == dataplane::Disposition::forwarded) {
+        result.output.meta.tx_time_ns =
+            pkt.meta.rx_time_ns + result.cycles * config_.ns_per_cycle;
+    }
+
+    if (taps_enabled_ && config_.max_tap_records > 0) {
+        if (taps_.size() >= config_.max_tap_records) {
+            // Evict the oldest half in one move so sustained traffic at the
+            // cap stays amortized O(1) per packet.
+            taps_.erase(taps_.begin(),
+                        taps_.begin() + static_cast<long>(taps_.size() / 2 + 1));
+        }
+        taps_.push_back(TapRecord{pkt, result});
+    }
+
+    if (result.disposition == dataplane::Disposition::forwarded &&
+        result.egress_port < static_cast<std::uint32_t>(config_.num_ports)) {
+        auto& tx = port_counters_[result.egress_port];
+        ++tx.tx_packets;
+        tx.tx_bytes += result.output.size();
+        egress_queues_[result.egress_port].push_back(std::move(result.output));
+    }
+}
+
+std::vector<packet::Packet> SimDevice::drain_port(std::uint32_t port) {
+    std::vector<packet::Packet> out;
+    if (port >= egress_queues_.size()) return out;
+    auto& q = egress_queues_[port];
+    out.reserve(q.size());
+    for (auto& pkt : q) out.push_back(std::move(pkt));
+    q.clear();
+    return out;
+}
+
+void SimDevice::set_taps_enabled(bool on) {
+    taps_enabled_ = on;
+    if (pipeline_) pipeline_->set_capture_taps(on);
+}
+
+// --- management plane ---------------------------------------------------------
+
+Status SimDevice::resolve_table(const std::string& table, int& id) const {
+    if (!prog_) return Status::failure("no program loaded");
+    const p4::ir::Table* t = prog_->table_by_name(table);
+    if (!t) return Status::failure("unknown table '" + table + "'");
+    id = t->id;
+    return Status::success();
+}
+
+Status SimDevice::resolve_extern(const std::string& name,
+                                 p4::ir::ExternDecl::Kind kind,
+                                 const p4::ir::ExternDecl*& out) const {
+    if (!prog_) return Status::failure("no program loaded");
+    const p4::ir::ExternDecl* e = prog_->extern_by_name(name);
+    if (!e) return Status::failure("unknown extern '" + name + "'");
+    if (e->kind != kind) {
+        return Status::failure("extern '" + name + "' has the wrong kind");
+    }
+    out = e;
+    return Status::success();
+}
+
+Status SimDevice::translate_entry(const p4::ir::Table& table,
+                                  const control::EntrySpec& entry,
+                                  dataplane::TableEntry& out) const {
+    if (entry.key_values.size() != table.keys.size()) {
+        return Status::failure(util::format(
+            "table '%s' expects %zu key(s), got %zu", table.name.c_str(),
+            table.keys.size(), entry.key_values.size()));
+    }
+    if (!entry.key_masks.empty() &&
+        entry.key_masks.size() != table.keys.size()) {
+        return Status::failure(util::format(
+            "table '%s': %zu mask(s) for %zu key(s)", table.name.c_str(),
+            entry.key_masks.size(), table.keys.size()));
+    }
+    out = {};
+    for (std::size_t i = 0; i < table.keys.size(); ++i) {
+        out.key_values.push_back(entry.key_values[i].resize(table.keys[i].width));
+        if (!entry.key_masks.empty()) {
+            out.key_masks.push_back(entry.key_masks[i].resize(table.keys[i].width));
+        }
+    }
+    out.prefix_len = entry.prefix_len;
+    if (table.has_lpm() && out.prefix_len < 0) {
+        out.prefix_len = table.keys[0].width;  // exact-as-lpm convenience
+    }
+    out.priority = entry.priority;
+
+    if (entry.action.empty()) {
+        // Key-only spec (delete matches on the key part alone).
+        out.action_id = -1;
+        return Status::success();
+    }
+    dataplane::ActionEntry resolved;
+    if (Status s = resolve_action(table, entry.action, entry.action_args, resolved);
+        !s) {
+        return s;
+    }
+    out.action_id = resolved.action_id;
+    out.action_args = std::move(resolved.args);
+    return Status::success();
+}
+
+Status SimDevice::resolve_action(const p4::ir::Table& table,
+                                 const std::string& action,
+                                 const std::vector<Bitvec>& args,
+                                 dataplane::ActionEntry& out) const {
+    const p4::ir::Action* a = prog_->action_by_name(action);
+    if (!a) return Status::failure("unknown action '" + action + "'");
+    if (std::find(table.actions.begin(), table.actions.end(), a->id) ==
+        table.actions.end()) {
+        return Status::failure("action '" + action + "' not permitted on table '" +
+                               table.name + "'");
+    }
+    if (args.size() != a->param_widths.size()) {
+        return Status::failure(util::format("action '%s' expects %zu arg(s), got %zu",
+                                            action.c_str(), a->param_widths.size(),
+                                            args.size()));
+    }
+    out.action_id = a->id;
+    out.args.clear();
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        out.args.push_back(args[i].resize(a->param_widths[i]));
+    }
+    return Status::success();
+}
+
+Status SimDevice::add_entry(const std::string& table,
+                            const control::EntrySpec& entry) {
+    int id = -1;
+    if (Status s = resolve_table(table, id); !s) return s;
+    if (entry.action.empty()) {
+        return Status::failure("add_entry requires an action");
+    }
+    dataplane::TableEntry translated;
+    if (Status s = translate_entry(prog_->tables[static_cast<std::size_t>(id)],
+                                   entry, translated);
+        !s) {
+        return s;
+    }
+    const dataplane::InsertStatus result = tables_->insert(id, translated);
+    if (result != dataplane::InsertStatus::ok) {
+        return Status::failure(util::format("insert into '%s' failed: %s",
+                                            table.c_str(),
+                                            dataplane::insert_status_name(result)));
+    }
+    return Status::success();
+}
+
+Status SimDevice::delete_entry(const std::string& table,
+                               const control::EntrySpec& entry) {
+    int id = -1;
+    if (Status s = resolve_table(table, id); !s) return s;
+    dataplane::TableEntry translated;
+    if (Status s = translate_entry(prog_->tables[static_cast<std::size_t>(id)],
+                                   entry, translated);
+        !s) {
+        return s;
+    }
+    if (!tables_->erase(id, translated)) {
+        return Status::failure("no such entry in '" + table + "'");
+    }
+    return Status::success();
+}
+
+Status SimDevice::set_default_action(const std::string& table,
+                                     const std::string& action,
+                                     const std::vector<Bitvec>& args) {
+    int id = -1;
+    if (Status s = resolve_table(table, id); !s) return s;
+    dataplane::ActionEntry entry;
+    if (Status s = resolve_action(prog_->tables[static_cast<std::size_t>(id)],
+                                  action, args, entry);
+        !s) {
+        return s;
+    }
+    tables_->set_default_action(id, std::move(entry));
+    return Status::success();
+}
+
+Status SimDevice::clear_table(const std::string& table) {
+    int id = -1;
+    if (Status s = resolve_table(table, id); !s) return s;
+    tables_->clear(id);
+    return Status::success();
+}
+
+Status SimDevice::write_register(const std::string& name, std::uint64_t index,
+                                 const Bitvec& value) {
+    const p4::ir::ExternDecl* e = nullptr;
+    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::reg, e); !s) {
+        return s;
+    }
+    if (index >= static_cast<std::uint64_t>(e->array_size)) {
+        return Status::failure(util::format("register '%s': index %llu out of range",
+                                            name.c_str(),
+                                            static_cast<unsigned long long>(index)));
+    }
+    stateful_->register_write(e->id, index, value);
+    return Status::success();
+}
+
+Status SimDevice::read_register(const std::string& name, std::uint64_t index,
+                                Bitvec& out) {
+    const p4::ir::ExternDecl* e = nullptr;
+    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::reg, e); !s) {
+        return s;
+    }
+    if (index >= static_cast<std::uint64_t>(e->array_size)) {
+        return Status::failure(util::format("register '%s': index %llu out of range",
+                                            name.c_str(),
+                                            static_cast<unsigned long long>(index)));
+    }
+    out = stateful_->register_read(e->id, index);
+    return Status::success();
+}
+
+Status SimDevice::read_counter(const std::string& name, std::uint64_t index,
+                               control::CounterValue& out) {
+    const p4::ir::ExternDecl* e = nullptr;
+    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::counter, e); !s) {
+        return s;
+    }
+    if (index >= static_cast<std::uint64_t>(e->array_size)) {
+        return Status::failure(util::format("counter '%s': index %llu out of range",
+                                            name.c_str(),
+                                            static_cast<unsigned long long>(index)));
+    }
+    out.packets = stateful_->counter_packets(e->id, index);
+    out.bytes = stateful_->counter_bytes(e->id, index);
+    return Status::success();
+}
+
+Status SimDevice::configure_meter(const std::string& name, std::uint64_t index,
+                                  const control::MeterConfig& config) {
+    const p4::ir::ExternDecl* e = nullptr;
+    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::meter, e); !s) {
+        return s;
+    }
+    if (index >= static_cast<std::uint64_t>(e->array_size)) {
+        return Status::failure(util::format("meter '%s': index %llu out of range",
+                                            name.c_str(),
+                                            static_cast<unsigned long long>(index)));
+    }
+    stateful_->meter_configure(e->id, index, config.committed_rate_bps,
+                               config.committed_burst, config.excess_rate_bps,
+                               config.excess_burst);
+    return Status::success();
+}
+
+control::StatusSnapshot SimDevice::snapshot() {
+    control::StatusSnapshot snap;
+    snap.taken_at_ns = clock_ns_;
+    snap.ports = port_counters_;
+    if (pipeline_) snap.stages = pipeline_->counters();
+    if (prog_ && tables_) {
+        snap.tables.reserve(prog_->tables.size());
+        for (const auto& t : prog_->tables) {
+            control::TableStatus status;
+            status.name = t.name;
+            status.hits = tables_->stats(t.id).hits;
+            status.misses = tables_->stats(t.id).misses;
+            status.entries = tables_->entry_count(t.id);
+            status.capacity = tables_->capacity(t.id);
+            snap.tables.push_back(std::move(status));
+        }
+    }
+    return snap;
+}
+
+Status SimDevice::reset_state() {
+    clear_dynamic_state();
+    if (pipeline_) pipeline_->reset_counters();
+    if (tables_) tables_->reset_stats();
+    if (stateful_) stateful_->reset();
+    return Status::success();
+}
+
+}  // namespace ndb::target

@@ -1,0 +1,100 @@
+// Software device model shared by every built-in backend.
+//
+// One SimDevice is one switch instance: a dataplane::Pipeline plus the
+// table/stateful stores behind it, per-port egress queues, port and stage
+// counters, a tap ring and a deterministic virtual clock.  Backend identity
+// lives entirely in DeviceConfig (name + quirks), so the reference and
+// SDNet-like devices are the same machine configured differently -- exactly
+// how one vendor toolchain produces differently-buggy images from the same
+// source.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "control/snapshot.h"
+#include "dataplane/stateful.h"
+#include "dataplane/tables.h"
+#include "target/device.h"
+
+namespace ndb::target {
+
+using util::Bitvec;
+
+class SimDevice final : public Device {
+public:
+    explicit SimDevice(DeviceConfig config);
+
+    // Device.
+    control::Status load(const p4::ir::Program& prog) override;
+    bool loaded() const override { return pipeline_ != nullptr; }
+    const p4::ir::Program& program() const override;
+    const DeviceConfig& config() const override { return config_; }
+    void inject(packet::Packet pkt) override;
+    std::vector<packet::Packet> drain_port(std::uint32_t port) override;
+    void set_taps_enabled(bool on) override;
+    bool taps_enabled() const override { return taps_enabled_; }
+    const std::vector<TapRecord>& tap_records() const override { return taps_; }
+    void clear_tap_records() override { taps_.clear(); }
+    std::uint64_t now_ns() const override { return clock_ns_; }
+
+    // control::RuntimeApi.
+    control::Status add_entry(const std::string& table,
+                              const control::EntrySpec& entry) override;
+    control::Status delete_entry(const std::string& table,
+                                 const control::EntrySpec& entry) override;
+    control::Status set_default_action(const std::string& table,
+                                       const std::string& action,
+                                       const std::vector<Bitvec>& args) override;
+    control::Status clear_table(const std::string& table) override;
+    control::Status write_register(const std::string& name, std::uint64_t index,
+                                   const Bitvec& value) override;
+    control::Status read_register(const std::string& name, std::uint64_t index,
+                                  Bitvec& out) override;
+    control::Status read_counter(const std::string& name, std::uint64_t index,
+                                 control::CounterValue& out) override;
+    control::Status configure_meter(const std::string& name, std::uint64_t index,
+                                    const control::MeterConfig& config) override;
+    control::StatusSnapshot snapshot() override;
+
+    // Clears dynamic state (queues, counters, registers, taps) but keeps the
+    // loaded image and installed table entries, like a hardware soft-reset.
+    control::Status reset_state() override;
+
+private:
+    // Resolves `table` to its id or fails with a uniform message.
+    control::Status resolve_table(const std::string& table, int& id) const;
+    // Resolves an extern of the given kind.
+    control::Status resolve_extern(const std::string& name,
+                                   p4::ir::ExternDecl::Kind kind,
+                                   const p4::ir::ExternDecl*& out) const;
+    // Maps a control-plane EntrySpec onto the table's engine entry.
+    control::Status translate_entry(const p4::ir::Table& table,
+                                    const control::EntrySpec& entry,
+                                    dataplane::TableEntry& out) const;
+    // Resolves an action name + args against a table's permitted actions.
+    control::Status resolve_action(const p4::ir::Table& table,
+                                   const std::string& action,
+                                   const std::vector<Bitvec>& args,
+                                   dataplane::ActionEntry& out) const;
+    // Clears queues, port counters and taps (shared by load and soft reset).
+    void clear_dynamic_state();
+
+    DeviceConfig config_;
+
+    std::unique_ptr<p4::ir::Program> prog_;
+    std::unique_ptr<dataplane::TableSet> tables_;
+    std::unique_ptr<dataplane::StatefulSet> stateful_;
+    std::unique_ptr<dataplane::Pipeline> pipeline_;
+
+    std::vector<std::deque<packet::Packet>> egress_queues_;
+    std::vector<control::PortCounters> port_counters_;
+
+    bool taps_enabled_ = false;
+    std::vector<TapRecord> taps_;
+
+    std::uint64_t clock_ns_ = 0;
+};
+
+}  // namespace ndb::target

@@ -1,0 +1,235 @@
+// Reference vs. vendor-backend divergence for the quirk catalogue:
+// shift_miscompile at expression level, ternary_priority_inverted and
+// parser_depth_limit at device level (the latter localized through the taps).
+#include <gtest/gtest.h>
+
+#include "core/localize.h"
+#include "core/tools.h"
+#include "dataplane/interp.h"
+#include "p4/compiler.h"
+#include "p4/programs.h"
+#include "target/device.h"
+
+namespace {
+
+using namespace ndb;
+
+TEST(Quirks, SdnetCatalogueHeadlinedByRejectAsAccept) {
+    const dataplane::Quirks q = target::sdnet_quirks();
+    EXPECT_TRUE(q.reject_as_accept);
+    EXPECT_TRUE(q.any());
+    EXPECT_FALSE(dataplane::Quirks{}.any());
+}
+
+TEST(Quirks, ShiftMiscompileTurnsRightShiftsLeft) {
+    // 0x80 >> 4: correct backends produce 0x08; the miscompiled one shifts
+    // left and the bit falls off the 8-bit result entirely.
+    auto prog = p4::compile_source(p4::programs::passthrough(), "passthrough");
+    dataplane::PacketState state = dataplane::PacketState::initial(
+        *prog, packet::PacketMeta{}, 64);
+    dataplane::Frame frame;
+
+    p4::ir::Expr expr;
+    expr.kind = p4::ir::Expr::Kind::binary;
+    expr.bin = p4::ast::BinOp::shr;
+    expr.width = 8;
+    expr.a = p4::ir::make_const(util::Bitvec(8, 0x80));
+    expr.b = p4::ir::make_const(util::Bitvec(8, 4));
+
+    const util::Bitvec faithful =
+        dataplane::eval_expr(*prog, expr, state, frame, dataplane::Quirks{});
+    EXPECT_EQ(faithful.to_u64(), 0x08u);
+
+    dataplane::Quirks quirks;
+    quirks.shift_miscompile = true;
+    const util::Bitvec miscompiled =
+        dataplane::eval_expr(*prog, expr, state, frame, quirks);
+    EXPECT_EQ(miscompiled.to_u64(), 0x00u);
+    EXPECT_TRUE(target::sdnet_quirks().shift_miscompile);
+}
+
+// Programs two overlapping ACL entries and returns the egress port the
+// device picks for a canonical UDP packet (0 = dropped).
+std::uint32_t acl_winner(target::Device& device) {
+    const auto prog =
+        p4::compile_source(p4::programs::acl_firewall(), "acl_firewall");
+    EXPECT_TRUE(device.load(*prog));
+
+    // Low-priority wildcard-everything entry -> port 3.
+    control::EntrySpec wildcard;
+    wildcard.key_values = {util::Bitvec(32, 0), util::Bitvec(32, 0),
+                           util::Bitvec(8, 0), util::Bitvec(16, 0)};
+    wildcard.key_masks = {util::Bitvec(32, 0), util::Bitvec(32, 0),
+                          util::Bitvec(8, 0), util::Bitvec(16, 0)};
+    wildcard.priority = 1;
+    wildcard.action = "allow";
+    wildcard.action_args = {util::Bitvec(9, 3)};
+    EXPECT_TRUE(device.add_entry("acl", wildcard));
+
+    // High-priority UDP-to-7000 entry -> port 2.
+    EXPECT_TRUE(core::scenario::add_acl_allow_udp(device.runtime(), 7000, 2));
+
+    packet::Packet pkt = core::scenario::ipv4_udp_packet();
+    pkt.meta.ingress_port = 0;
+    device.inject(pkt);
+    for (std::uint32_t port = 0;
+         port < static_cast<std::uint32_t>(device.config().num_ports); ++port) {
+        if (!device.drain_port(port).empty()) return port;
+    }
+    return 0;
+}
+
+TEST(Quirks, TernaryPriorityInvertedPicksTheWrongAclEntry) {
+    auto reference = target::make_reference_device();
+    EXPECT_EQ(acl_winner(*reference), 2u);  // highest priority wins
+
+    dataplane::Quirks quirks;
+    quirks.ternary_priority_inverted = true;
+    auto buggy = target::make_device("sdnet", quirks);
+    ASSERT_NE(buggy, nullptr);
+    EXPECT_EQ(acl_winner(*buggy), 3u);  // priority encoder wired backwards
+    EXPECT_TRUE(target::sdnet_quirks().ternary_priority_inverted);
+}
+
+TEST(Quirks, RejectAsAcceptLocalizesToTheParserStage) {
+    // The headline bug extracts identical headers before mis-accepting, so
+    // only the verdicts diverge at the parser tap.
+    const auto prog =
+        p4::compile_source(p4::programs::reject_filter(), "reject_filter");
+    auto dut = target::make_sdnet_device();
+    auto golden = target::make_reference_device();
+    ASSERT_TRUE(dut->load(*prog));
+    ASSERT_TRUE(golden->load(*prog));
+
+    packet::Packet arp = core::scenario::arp_packet();
+    arp.meta.ingress_port = 0;
+
+    core::FaultLocalizer localizer(*dut, *golden);
+    const core::LocalizeResult result = localizer.localize_linear(arp);
+    EXPECT_TRUE(result.diverged);
+    EXPECT_EQ(result.stage, dataplane::Stage::parser) << result.to_string();
+    EXPECT_NE(result.description.find("verdict"), std::string::npos)
+        << result.description;
+
+    // Bisection must agree with the linear scan (probe reports divergence
+    // at-or-before the probed stage, keeping the search monotone).
+    const core::LocalizeResult bisected = localizer.localize_binary(arp);
+    EXPECT_TRUE(bisected.diverged);
+    EXPECT_EQ(bisected.stage, dataplane::Stage::parser) << bisected.to_string();
+}
+
+TEST(Quirks, MetadataClobberConfinedToParserIsFoundByBothStrategies) {
+    // metadata_clobber diverges only at the parser tap: stats_monitor's
+    // ingress overwrites meta.pkt_count from a register before any use, so
+    // ingress/egress taps and dispositions all agree.  Bisection (which
+    // never probes the parser unless an earlier divergence points there)
+    // must still find it.
+    const auto prog =
+        p4::compile_source(p4::programs::stats_monitor(), "stats_monitor");
+    dataplane::Quirks clobber;
+    clobber.metadata_clobber = true;
+    auto dut = target::make_device("reference", clobber);
+    auto golden = target::make_reference_device();
+    ASSERT_TRUE(dut->load(*prog));
+    ASSERT_TRUE(golden->load(*prog));
+
+    packet::Packet pkt = core::scenario::ipv4_udp_packet();
+    pkt.meta.ingress_port = 0;
+
+    core::FaultLocalizer localizer(*dut, *golden);
+    const core::LocalizeResult linear = localizer.localize_linear(pkt);
+    EXPECT_TRUE(linear.diverged) << linear.to_string();
+    EXPECT_EQ(linear.stage, dataplane::Stage::parser);
+
+    const core::LocalizeResult binary = localizer.localize_binary(pkt);
+    EXPECT_TRUE(binary.diverged) << binary.to_string();
+    EXPECT_EQ(binary.stage, dataplane::Stage::parser);
+}
+
+TEST(Quirks, LocalizerReportsInconclusiveWhenTapsCannotRecord) {
+    // A DUT whose tap ring is disabled gives the localizer nothing to
+    // compare; that must not read as a clean bill of health.
+    const auto prog =
+        p4::compile_source(p4::programs::reject_filter(), "reject_filter");
+    target::DeviceConfig no_taps;
+    no_taps.max_tap_records = 0;
+    auto dut = target::make_sdnet_device(no_taps);
+    auto golden = target::make_reference_device();
+    ASSERT_TRUE(dut->load(*prog));
+    ASSERT_TRUE(golden->load(*prog));
+
+    packet::Packet arp = core::scenario::arp_packet();
+    arp.meta.ingress_port = 0;
+
+    core::FaultLocalizer localizer(*dut, *golden);
+    const core::LocalizeResult result = localizer.localize_linear(arp);
+    EXPECT_FALSE(result.diverged);
+    EXPECT_FALSE(result.conclusive);
+    EXPECT_NE(result.description.find("inconclusive"), std::string::npos)
+        << result.description;
+    // Blind probes bail out early instead of replaying every stage.
+    EXPECT_EQ(result.probes, 1);
+}
+
+TEST(Quirks, ParserDepthLimitLocalizesToTheParserStage) {
+    const auto prog = p4::compile_source(p4::programs::deep_parser(), "deep_parser");
+
+    dataplane::Quirks quirks;
+    quirks.parser_depth_limit = 4;  // ethernet + three labels, then give up
+    auto dut = target::make_device("sdnet", quirks);
+    auto golden = target::make_reference_device();
+    ASSERT_TRUE(dut->load(*prog));
+    ASSERT_TRUE(golden->load(*prog));
+
+    packet::Packet stimulus = core::scenario::label_stack_packet(8);
+    stimulus.meta.ingress_port = 0;
+
+    core::FaultLocalizer localizer(*dut, *golden);
+    const core::LocalizeResult linear = localizer.localize_linear(stimulus);
+    EXPECT_TRUE(linear.diverged) << linear.to_string();
+    EXPECT_EQ(linear.stage, dataplane::Stage::parser) << linear.to_string();
+
+    const core::LocalizeResult binary = localizer.localize_binary(stimulus);
+    EXPECT_TRUE(binary.diverged);
+    EXPECT_EQ(binary.stage, dataplane::Stage::parser);
+    // Bisection over {parser, ingress, egress} needs at most 2 probes.
+    EXPECT_LE(binary.probes, 2);
+
+    // A shallow stack fits the hardware parser: no divergence, and the
+    // probes actually observed tap records, so the verdict is conclusive.
+    packet::Packet shallow = core::scenario::label_stack_packet(3);
+    shallow.meta.ingress_port = 0;
+    const core::LocalizeResult clean = localizer.localize_linear(shallow);
+    EXPECT_FALSE(clean.diverged);
+    EXPECT_TRUE(clean.conclusive);
+}
+
+TEST(Quirks, DepthLimitedParserAcceptsEarlyAtPipelineLevel) {
+    const auto prog = p4::compile_source(p4::programs::deep_parser(), "deep_parser");
+    dataplane::Quirks quirks;
+    quirks.parser_depth_limit = 4;
+
+    dataplane::ParserEngine faithful(*prog);
+    dataplane::ParserEngine limited(*prog, quirks);
+
+    const packet::Packet pkt = core::scenario::label_stack_packet(8);
+    dataplane::PacketState full = dataplane::PacketState::initial(
+        *prog, pkt.meta, static_cast<std::uint32_t>(pkt.size()));
+    dataplane::PacketState shallow = dataplane::PacketState::initial(
+        *prog, pkt.meta, static_cast<std::uint32_t>(pkt.size()));
+
+    EXPECT_EQ(faithful.run(pkt, full), dataplane::ParserVerdict::accept);
+    EXPECT_EQ(limited.run(pkt, shallow), dataplane::ParserVerdict::accept);
+
+    const int l3 = prog->header_index("l3");
+    const int l7 = prog->header_index("l7");
+    ASSERT_GE(l3, 0);
+    ASSERT_GE(l7, 0);
+    EXPECT_TRUE(full.header_valid(l7));
+    EXPECT_TRUE(shallow.header_valid(prog->header_index("l2")));
+    // Extracts beyond the hardware's stage budget silently never happen.
+    EXPECT_FALSE(shallow.header_valid(l3));
+    EXPECT_FALSE(shallow.header_valid(l7));
+}
+
+}  // namespace
