@@ -8,7 +8,7 @@ std::string StatusSnapshot::to_string() const {
     std::string s = util::format(
         "status @%llu ns\n"
         "  parser: in=%llu accepted=%llu rejected=%llu errors=%llu\n"
-        "  drops: ingress=%llu egress=%llu  forwarded=%llu\n",
+        "  drops: ingress=%llu egress=%llu  forwarded=%llu misdirected=%llu\n",
         static_cast<unsigned long long>(taken_at_ns),
         static_cast<unsigned long long>(stages.parser_in),
         static_cast<unsigned long long>(stages.parser_accepted),
@@ -16,7 +16,8 @@ std::string StatusSnapshot::to_string() const {
         static_cast<unsigned long long>(stages.parser_errors),
         static_cast<unsigned long long>(stages.ingress_dropped),
         static_cast<unsigned long long>(stages.egress_dropped),
-        static_cast<unsigned long long>(stages.forwarded));
+        static_cast<unsigned long long>(stages.forwarded),
+        static_cast<unsigned long long>(misdirected));
     for (std::size_t i = 0; i < ports.size(); ++i) {
         const auto& p = ports[i];
         if (p.rx_packets == 0 && p.tx_packets == 0) continue;
@@ -45,6 +46,7 @@ StatusSnapshot StatusSnapshot::delta_since(const StatusSnapshot& older) const {
     d.stages.ingress_dropped -= older.stages.ingress_dropped;
     d.stages.egress_dropped -= older.stages.egress_dropped;
     d.stages.forwarded -= older.stages.forwarded;
+    d.misdirected -= older.misdirected;
     for (std::size_t i = 0; i < d.ports.size() && i < older.ports.size(); ++i) {
         d.ports[i].rx_packets -= older.ports[i].rx_packets;
         d.ports[i].rx_bytes -= older.ports[i].rx_bytes;
@@ -60,9 +62,11 @@ StatusSnapshot StatusSnapshot::delta_since(const StatusSnapshot& older) const {
 
 std::int64_t StatusSnapshot::unaccounted_packets() const {
     const auto in = static_cast<std::int64_t>(stages.parser_in);
+    // `forwarded` counts misdirected packets too, but they never left on a
+    // port, so only forwarded - misdirected are accounted for as delivered.
     const auto accounted = static_cast<std::int64_t>(
         stages.parser_rejected + stages.parser_errors + stages.ingress_dropped +
-        stages.egress_dropped + stages.forwarded);
+        stages.egress_dropped + stages.forwarded - misdirected);
     return in - accounted;
 }
 

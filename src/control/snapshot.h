@@ -31,13 +31,21 @@ struct StatusSnapshot {
     std::vector<PortCounters> ports;
     std::vector<TableStatus> tables;
 
+    // Forwarded packets whose egress port does not exist on the device: the
+    // pipeline counted them as forwarded, but they never reached any queue.
+    // Real hardware discards these silently; the counter makes the loss
+    // first-class instead of leaving it to observed-vs-injected arithmetic.
+    std::uint64_t misdirected = 0;
+
     std::string to_string() const;
 
     // Counter deltas between two snapshots (this - older).
     StatusSnapshot delta_since(const StatusSnapshot& older) const;
 
-    // Total packets that entered but neither left nor were accounted as
-    // dropped: nonzero values indicate silent loss inside the device.
+    // Total packets that entered but neither left on a real port nor were
+    // accounted as dropped: nonzero values indicate silent loss inside the
+    // device.  Misdirected packets count as lost (the pipeline's `forwarded`
+    // includes them, but no port ever saw them).
     std::int64_t unaccounted_packets() const;
 };
 

@@ -1,0 +1,601 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/generator.h"
+#include "target/device.h"
+#include "util/strings.h"
+
+namespace ndb::core {
+
+namespace {
+
+// Injection timeline: fixed epoch + one 84-byte wire slot per packet, the
+// same on every device.  Pinning rx_time explicitly (instead of letting each
+// device stamp its own clock) keeps scenario behaviour independent of how
+// many scenarios a worker's reused devices have already processed -- the
+// determinism-under-sharding contract depends on it.
+constexpr std::uint64_t kEpochNs = 1'000'000;
+constexpr std::uint64_t kSlotNs = 672;
+
+struct StreamItem {
+    std::uint32_t port = 0;
+    packet::Packet pkt;
+};
+
+// Compact per-packet view of the internal stage taps.  This is the paper's
+// visibility advantage made part of *detection*: bugs like a depth-limited
+// parser leave the output bytes untouched (unparsed headers ride through as
+// payload) and only the in-device state betrays them.
+struct TapDigest {
+    dataplane::ParserVerdict verdict = dataplane::ParserVerdict::accept;
+    dataplane::Disposition disposition = dataplane::Disposition::forwarded;
+    std::uint32_t egress_port = 0;             // meaningful when forwarded
+    std::uint64_t stage_hash[3] = {0, 0, 0};   // parser/ingress/egress states
+
+    bool operator==(const TapDigest&) const = default;
+};
+
+// Everything observable from running one scenario on one device.
+struct DeviceRun {
+    std::vector<bool> config_ok;
+    std::vector<StreamItem> observed;
+    std::vector<TapDigest> taps;  // empty when the device cannot record
+    control::StatusSnapshot snapshot;
+    std::uint64_t injected = 0;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// Order-sensitive hash of one stage tap: header validity plus every field
+// value (metadata headers included, mirroring FaultLocalizer's comparison).
+// Timing (cycles) is deliberately excluded: quirked paths may legitimately
+// cost different cycle counts without being behaviourally wrong.
+std::uint64_t hash_state(const p4::ir::Program& prog,
+                         const std::optional<dataplane::PacketState>& tap) {
+    if (!tap) return 0x9e3779b97f4a7c15ull;  // sentinel: stage never reached
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < prog.headers.size(); ++i) {
+        const auto& inst = tap->headers[i];
+        const unsigned char valid = inst.valid ? 1 : 0;
+        h = fnv1a(h, &valid, 1);
+        if (!inst.valid && !prog.headers[i].is_metadata) continue;
+        for (const auto& field : inst.fields) {
+            const std::string hex = field.to_hex();
+            h = fnv1a(h, hex.data(), hex.size());
+        }
+    }
+    return h;
+}
+
+// The pre-triage core of a finding.
+struct RawDivergence {
+    std::string kind;
+    std::string detail;
+    std::uint64_t first_diverging_packet = 0;
+};
+
+struct ScenarioOutcome {
+    std::uint64_t packets = 0;  // inject() calls issued, triage included
+    std::vector<DivergenceRecord> findings;
+};
+
+std::uint64_t stamp_seq(const packet::Packet& pkt) {
+    std::uint64_t seq = 0, t = 0;
+    return TestPacketGenerator::read_stamp(pkt, seq, t) ? seq : 0;
+}
+
+DeviceRun run_scenario_on(target::Device& dev, const Scenario& sc,
+                          const std::vector<packet::Packet>& packets,
+                          std::size_t batch_size) {
+    DeviceRun run;
+    if (!dev.load(*sc.compiled)) {
+        throw std::runtime_error("campaign: device refused catalogue program " +
+                                 sc.program);
+    }
+    run.config_ok.reserve(sc.config.size());
+    for (const auto& op : sc.config) {
+        run.config_ok.push_back(static_cast<bool>(apply_config_op(dev, op)));
+    }
+    dev.set_taps_enabled(true);
+    const std::size_t batch = std::max<std::size_t>(1, batch_size);
+    std::size_t i = 0;
+    while (i < packets.size()) {
+        const std::size_t end = std::min(i + batch, packets.size());
+        for (; i < end; ++i) {
+            dev.inject(packets[i]);
+            ++run.injected;
+        }
+        // One queue sweep per batch amortizes the drain round-trip.
+        for (int p = 0; p < dev.config().num_ports; ++p) {
+            for (auto& out : dev.drain_port(static_cast<std::uint32_t>(p))) {
+                run.observed.push_back({static_cast<std::uint32_t>(p), std::move(out)});
+            }
+        }
+    }
+    // Digest the tap ring (synchronous recording: one record per injection
+    // when the device can record at all).
+    const auto& records = dev.tap_records();
+    if (records.size() == packets.size()) {
+        run.taps.reserve(records.size());
+        const p4::ir::Program& prog = dev.program();
+        for (const auto& record : records) {
+            TapDigest digest;
+            digest.verdict = record.result.parser_verdict;
+            digest.disposition = record.result.disposition;
+            digest.egress_port =
+                record.result.disposition == dataplane::Disposition::forwarded
+                    ? record.result.egress_port
+                    : 0;
+            digest.stage_hash[0] = hash_state(prog, record.result.tap_after_parser);
+            digest.stage_hash[1] = hash_state(prog, record.result.tap_after_ingress);
+            digest.stage_hash[2] = hash_state(prog, record.result.tap_after_egress);
+            run.taps.push_back(digest);
+        }
+    }
+    dev.set_taps_enabled(false);
+    run.snapshot = dev.snapshot();
+    return run;
+}
+
+// First observable difference between a DUT run and the reference run, in
+// causal order: control-plane acceptance, then the output stream, then the
+// internal status counters.
+std::optional<RawDivergence> diff_runs(const DeviceRun& dut, const DeviceRun& ref) {
+    for (std::size_t i = 0; i < dut.config_ok.size() && i < ref.config_ok.size();
+         ++i) {
+        if (dut.config_ok[i] != ref.config_ok[i]) {
+            return RawDivergence{
+                "config",
+                util::format("config op #%zu: dut=%s golden=%s", i,
+                             dut.config_ok[i] ? "ok" : "rejected",
+                             ref.config_ok[i] ? "ok" : "rejected"),
+                0};
+        }
+    }
+
+    // Static table shape is control-plane visible before any packet flows:
+    // a clamped capacity or a rejected insert shows up here.
+    for (std::size_t i = 0;
+         i < dut.snapshot.tables.size() && i < ref.snapshot.tables.size(); ++i) {
+        const auto& dt = dut.snapshot.tables[i];
+        const auto& gt = ref.snapshot.tables[i];
+        if (dt.capacity != gt.capacity || dt.entries != gt.entries) {
+            return RawDivergence{
+                "config",
+                util::format("table %s shape: dut entries=%llu/%llu golden "
+                             "entries=%llu/%llu",
+                             dt.name.c_str(),
+                             static_cast<unsigned long long>(dt.entries),
+                             static_cast<unsigned long long>(dt.capacity),
+                             static_cast<unsigned long long>(gt.entries),
+                             static_cast<unsigned long long>(gt.capacity)),
+                0};
+        }
+    }
+
+    // Internal visibility first: the taps see divergences (wrong parser
+    // verdict, clobbered state) that output bytes can hide entirely.  Only
+    // comparable when both devices recorded the full stream.
+    if (!dut.taps.empty() && dut.taps.size() == ref.taps.size()) {
+        for (std::size_t i = 0; i < dut.taps.size(); ++i) {
+            const TapDigest& d = dut.taps[i];
+            const TapDigest& g = ref.taps[i];
+            if (d == g) continue;
+            std::string what;
+            if (d.verdict != g.verdict) {
+                what = util::format("parser verdict dut=%s golden=%s",
+                                    dataplane::parser_verdict_name(d.verdict),
+                                    dataplane::parser_verdict_name(g.verdict));
+            } else if (d.stage_hash[0] != g.stage_hash[0]) {
+                what = "state differs at the parser tap";
+            } else if (d.stage_hash[1] != g.stage_hash[1]) {
+                what = "state differs at the ingress tap";
+            } else if (d.stage_hash[2] != g.stage_hash[2]) {
+                what = "state differs at the egress tap";
+            } else if (d.disposition != g.disposition) {
+                what = util::format("disposition dut=%s golden=%s",
+                                    dataplane::disposition_name(d.disposition),
+                                    dataplane::disposition_name(g.disposition));
+            } else {
+                what = util::format("egress port dut=%u golden=%u", d.egress_port,
+                                    g.egress_port);
+            }
+            return RawDivergence{
+                "internal",
+                util::format("packet #%zu: %s", i + 1, what.c_str()),
+                static_cast<std::uint64_t>(i + 1)};
+        }
+    }
+
+    const std::size_t n = std::min(dut.observed.size(), ref.observed.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const StreamItem& d = dut.observed[i];
+        const StreamItem& g = ref.observed[i];
+        if (d.port != g.port) {
+            return RawDivergence{
+                "output",
+                util::format("output #%zu egress port: dut=%u golden=%u", i, d.port,
+                             g.port),
+                stamp_seq(g.pkt)};
+        }
+        if (!d.pkt.same_bytes(g.pkt)) {
+            return RawDivergence{
+                "output",
+                util::format("output #%zu bytes differ on port %u (%zuB vs %zuB)",
+                             i, d.port, d.pkt.size(), g.pkt.size()),
+                stamp_seq(g.pkt)};
+        }
+    }
+    if (dut.observed.size() != ref.observed.size()) {
+        const bool dut_longer = dut.observed.size() > ref.observed.size();
+        const StreamItem& extra =
+            dut_longer ? dut.observed[n] : ref.observed[n];
+        return RawDivergence{
+            "output",
+            util::format("output stream length: dut=%zu golden=%zu",
+                         dut.observed.size(), ref.observed.size()),
+            stamp_seq(extra.pkt)};
+    }
+
+    const auto& ds = dut.snapshot.stages;
+    const auto& gs = ref.snapshot.stages;
+    const struct {
+        const char* name;
+        std::uint64_t d, g;
+    } counters[] = {
+        {"parser_in", ds.parser_in, gs.parser_in},
+        {"parser_accepted", ds.parser_accepted, gs.parser_accepted},
+        {"parser_rejected", ds.parser_rejected, gs.parser_rejected},
+        {"parser_errors", ds.parser_errors, gs.parser_errors},
+        {"ingress_dropped", ds.ingress_dropped, gs.ingress_dropped},
+        {"egress_dropped", ds.egress_dropped, gs.egress_dropped},
+        {"forwarded", ds.forwarded, gs.forwarded},
+        {"misdirected", dut.snapshot.misdirected, ref.snapshot.misdirected},
+    };
+    for (const auto& c : counters) {
+        if (c.d != c.g) {
+            return RawDivergence{
+                "snapshot",
+                util::format("stage counter %s: dut=%llu golden=%llu", c.name,
+                             static_cast<unsigned long long>(c.d),
+                             static_cast<unsigned long long>(c.g)),
+                0};
+        }
+    }
+    for (std::size_t i = 0;
+         i < dut.snapshot.tables.size() && i < ref.snapshot.tables.size(); ++i) {
+        const auto& dt = dut.snapshot.tables[i];
+        const auto& gt = ref.snapshot.tables[i];
+        if (dt.hits != gt.hits || dt.misses != gt.misses) {
+            return RawDivergence{
+                "snapshot",
+                util::format("table %s: dut hits=%llu misses=%llu, golden "
+                             "hits=%llu misses=%llu",
+                             dt.name.c_str(),
+                             static_cast<unsigned long long>(dt.hits),
+                             static_cast<unsigned long long>(dt.misses),
+                             static_cast<unsigned long long>(gt.hits),
+                             static_cast<unsigned long long>(gt.misses)),
+                0};
+        }
+    }
+    return std::nullopt;
+}
+
+// Per-worker device pool: one reference instance plus one instance per DUT
+// backend, reused across every scenario the worker claims (load() replaces
+// the image and all dynamic state).
+struct WorkerContext {
+    std::unique_ptr<target::Device> reference;
+    std::vector<std::unique_ptr<target::Device>> duts;  // parallel to specs
+
+    WorkerContext(const std::string& reference_backend,
+                  const std::vector<BackendSpec>& specs) {
+        reference = target::make_device(reference_backend);
+        if (!reference) {
+            throw std::invalid_argument("campaign: unknown reference backend '" +
+                                        reference_backend + "'");
+        }
+        for (const auto& spec : specs) {
+            auto dev = target::make_device(spec.name, spec.quirks);
+            if (!dev) {
+                throw std::invalid_argument("campaign: unknown backend '" +
+                                            spec.name + "'");
+            }
+            duts.push_back(std::move(dev));
+        }
+    }
+};
+
+// --- JSON helpers -------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    out += util::format("\\u%04x", c);
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_string_array(const std::vector<std::string>& items) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ", ";
+        out += "\"" + json_escape(items[i]) + "\"";
+    }
+    return out + "]";
+}
+
+}  // namespace
+
+// --- engine -------------------------------------------------------------------
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)) {}
+
+CampaignReport CampaignEngine::run() {
+    std::vector<BackendSpec> duts = config_.duts;
+    if (duts.empty()) {
+        for (const auto& name : target::registered_backends()) {
+            if (name == config_.reference_backend) continue;
+            duts.push_back(BackendSpec{name, std::nullopt, name});
+        }
+    }
+    for (auto& d : duts) {
+        if (d.label.empty()) d.label = d.name;
+    }
+
+    const SpecGenerator gen(config_.programs);
+
+    CampaignReport report;
+    report.base_seed = config_.base_seed;
+    report.scenarios = config_.scenarios;
+    report.programs = gen.programs();
+    for (const auto& d : duts) report.backends.push_back(d.label);
+
+    std::vector<ScenarioOutcome> outcomes(config_.scenarios);
+    std::atomic<std::uint64_t> next{0};
+
+    const auto run_one = [&](WorkerContext& ctx, std::uint64_t index) {
+        const Scenario sc = gen.make(config_.base_seed + index);
+        ScenarioOutcome outcome;
+
+        // Build the stream once; every backend sees byte-identical stimuli
+        // on an identical timeline.
+        TestPacketGenerator pgen(sc.spec);
+        std::vector<packet::Packet> packets;
+        packets.reserve(sc.spec.count);
+        for (std::uint64_t seq = 1; seq <= sc.spec.count; ++seq) {
+            packets.push_back(pgen.make_packet(seq, kEpochNs + (seq - 1) * kSlotNs));
+        }
+
+        const DeviceRun ref_run = run_scenario_on(*ctx.reference, sc, packets,
+                                                  config_.batch_size);
+        outcome.packets += ref_run.injected;
+
+        for (std::size_t d = 0; d < duts.size(); ++d) {
+            target::Device& dut = *ctx.duts[d];
+            const DeviceRun dut_run =
+                run_scenario_on(dut, sc, packets, config_.batch_size);
+            outcome.packets += dut_run.injected;
+
+            const auto raw = diff_runs(dut_run, ref_run);
+            if (!raw) continue;
+
+            DivergenceRecord rec;
+            rec.seed = sc.seed;
+            rec.backend = duts[d].label;
+            rec.program = sc.program;
+            rec.quirk_signature = dut.config().quirks.signature();
+            rec.kind = raw->kind;
+            rec.detail = raw->detail;
+            rec.first_diverging_packet = raw->first_diverging_packet;
+
+            // Minimize: the shortest stimulus prefix that still diverges.
+            if (config_.minimize) {
+                for (std::size_t k = 1; k <= packets.size(); ++k) {
+                    const std::vector<packet::Packet> prefix(packets.begin(),
+                                                             packets.begin() + k);
+                    const DeviceRun r = run_scenario_on(*ctx.reference, sc, prefix,
+                                                        config_.batch_size);
+                    const DeviceRun u =
+                        run_scenario_on(dut, sc, prefix, config_.batch_size);
+                    outcome.packets += r.injected + u.injected;
+                    if (diff_runs(u, r)) {
+                        rec.minimized_count = k;
+                        rec.minimized_reproduces = true;
+                        break;
+                    }
+                }
+            }
+
+            // Localize: replay the minimized trigger through the stage taps.
+            const std::uint64_t trigger =
+                rec.minimized_count ? rec.minimized_count : packets.size();
+            if (config_.localize && trigger > 0) {
+                const std::vector<packet::Packet> warmup(
+                    packets.begin(), packets.begin() + (trigger - 1));
+                const DeviceRun r = run_scenario_on(*ctx.reference, sc, warmup,
+                                                    config_.batch_size);
+                const DeviceRun u =
+                    run_scenario_on(dut, sc, warmup, config_.batch_size);
+                outcome.packets += r.injected + u.injected;
+                FaultLocalizer localizer(dut, *ctx.reference);
+                rec.localized = localizer.localize_binary(packets[trigger - 1]);
+                outcome.packets += rec.localized.packets_replayed;
+            }
+
+            const std::string stage =
+                rec.localized.diverged
+                    ? dataplane::stage_name(rec.localized.stage)
+                    : (rec.kind == "config" ? "control" : "unlocalized");
+            rec.fingerprint = rec.backend + "|" + rec.quirk_signature + "|" + stage;
+            outcome.findings.push_back(std::move(rec));
+        }
+        outcomes[index] = std::move(outcome);
+    };
+
+    // An exception anywhere in a worker (unknown backend, a device refusing
+    // an image) must surface to the caller, not std::terminate the process:
+    // capture the first one, stop the pool, rethrow after the join.
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+        try {
+            WorkerContext ctx(config_.reference_backend, duts);
+            while (!failed.load(std::memory_order_relaxed)) {
+                const std::uint64_t index = next.fetch_add(1);
+                if (index >= config_.scenarios) break;
+                run_one(ctx, index);
+            }
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    const int threads = std::clamp(config_.threads, 1, 64);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Merge in scenario order so the report never depends on scheduling;
+    // dedup keeps the first finding per fingerprint and counts the rest.
+    std::map<std::string, std::size_t> seen;
+    for (auto& outcome : outcomes) {
+        report.packets_injected += outcome.packets;
+        for (auto& rec : outcome.findings) {
+            ++report.findings_total;
+            const auto it = seen.find(rec.fingerprint);
+            if (it == seen.end()) {
+                seen.emplace(rec.fingerprint, report.divergences.size());
+                report.divergences.push_back(std::move(rec));
+            } else {
+                ++report.divergences[it->second].duplicates;
+            }
+        }
+    }
+
+    stats_.wall_seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+    if (stats_.wall_seconds > 0) {
+        stats_.scenarios_per_sec =
+            static_cast<double>(config_.scenarios) / stats_.wall_seconds;
+        stats_.packets_per_sec =
+            static_cast<double>(report.packets_injected) / stats_.wall_seconds;
+    }
+    return report;
+}
+
+// --- report rendering ---------------------------------------------------------
+
+std::string CampaignReport::to_string() const {
+    std::string s = util::format(
+        "campaign: %llu scenario(s) from seed %llu, %llu packet(s), "
+        "%llu finding(s) -> %zu unique (dedup x%.1f)\n",
+        static_cast<unsigned long long>(scenarios),
+        static_cast<unsigned long long>(base_seed),
+        static_cast<unsigned long long>(packets_injected),
+        static_cast<unsigned long long>(findings_total), divergences.size(),
+        dedup_ratio());
+    for (const auto& d : divergences) {
+        s += util::format(
+            "  [%s] seed=%llu %s: %s (min=%llu pkt, +%llu dup) %s\n",
+            d.fingerprint.c_str(), static_cast<unsigned long long>(d.seed),
+            d.kind.c_str(), d.detail.c_str(),
+            static_cast<unsigned long long>(d.minimized_count),
+            static_cast<unsigned long long>(d.duplicates),
+            d.localized.diverged ? d.localized.to_string().c_str() : "");
+    }
+    return s;
+}
+
+std::string CampaignReport::to_json() const {
+    std::string s = "{\n";
+    s += util::format("  \"base_seed\": %llu,\n",
+                      static_cast<unsigned long long>(base_seed));
+    s += util::format("  \"scenarios\": %llu,\n",
+                      static_cast<unsigned long long>(scenarios));
+    s += "  \"programs\": " + json_string_array(programs) + ",\n";
+    s += "  \"backends\": " + json_string_array(backends) + ",\n";
+    s += util::format("  \"packets_injected\": %llu,\n",
+                      static_cast<unsigned long long>(packets_injected));
+    s += util::format("  \"findings_total\": %llu,\n",
+                      static_cast<unsigned long long>(findings_total));
+    s += util::format("  \"divergences_unique\": %zu,\n", divergences.size());
+    s += util::format("  \"dedup_ratio\": %.3f,\n", dedup_ratio());
+    s += "  \"divergences\": [";
+    for (std::size_t i = 0; i < divergences.size(); ++i) {
+        const auto& d = divergences[i];
+        s += i ? ",\n    {" : "\n    {";
+        s += util::format("\"seed\": %llu, ",
+                          static_cast<unsigned long long>(d.seed));
+        s += "\"backend\": \"" + json_escape(d.backend) + "\", ";
+        s += "\"program\": \"" + json_escape(d.program) + "\", ";
+        s += "\"quirks\": \"" + json_escape(d.quirk_signature) + "\", ";
+        s += "\"kind\": \"" + json_escape(d.kind) + "\", ";
+        s += "\"detail\": \"" + json_escape(d.detail) + "\", ";
+        s += "\"fingerprint\": \"" + json_escape(d.fingerprint) + "\", ";
+        s += util::format("\"first_diverging_packet\": %llu, ",
+                          static_cast<unsigned long long>(d.first_diverging_packet));
+        s += util::format("\"minimized_count\": %llu, ",
+                          static_cast<unsigned long long>(d.minimized_count));
+        s += util::format("\"minimized_reproduces\": %s, ",
+                          d.minimized_reproduces ? "true" : "false");
+        s += util::format("\"duplicates\": %llu, ",
+                          static_cast<unsigned long long>(d.duplicates));
+        s += "\"localized\": {";
+        s += util::format("\"diverged\": %s, ",
+                          d.localized.diverged ? "true" : "false");
+        s += util::format(
+            "\"stage\": \"%s\", ",
+            d.localized.diverged ? dataplane::stage_name(d.localized.stage) : "");
+        s += "\"description\": \"" + json_escape(d.localized.description) + "\", ";
+        s += util::format("\"probes\": %d, ", d.localized.probes);
+        s += util::format("\"conclusive\": %s}",
+                          d.localized.conclusive ? "true" : "false");
+        s += "}";
+    }
+    s += divergences.empty() ? "]\n" : "\n  ]\n";
+    s += "}\n";
+    return s;
+}
+
+}  // namespace ndb::core

@@ -1,0 +1,116 @@
+// Differential fuzzing campaign engine.
+//
+// Turns the one-spec/one-backend validation loop into a throughput-oriented
+// sweep (FP4-style greybox fuzzing, arXiv:2207.13147): seeded scenarios from
+// SpecGenerator run on the reference backend and on every DUT backend, the
+// reference's behaviour is the ground truth, and any observable difference
+// (output stream, internal status counters, control-plane acceptance) is a
+// divergence.  Scenarios shard across a worker-thread pool -- each worker
+// owns its own device instances and injects/drains in batches -- and every
+// divergence is triaged: minimized to the shortest reproducing packet
+// prefix, replayed through FaultLocalizer to name the first diverging
+// stage, and deduplicated by (backend, quirk-signature, stage) fingerprint.
+//
+// Determinism contract: CampaignReport (including its JSON form) depends
+// only on the config, never on thread count or timing.  Wall-clock derived
+// rates live in CampaignStats, which the ndb_campaign CLI writes to
+// BENCH_campaign.json.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/localize.h"
+#include "core/specgen.h"
+#include "dataplane/quirks.h"
+
+namespace ndb::core {
+
+// One backend in the sweep, instantiated per worker via the target registry.
+struct BackendSpec {
+    std::string name;                              // registry name
+    std::optional<dataplane::Quirks> quirks;       // override; nullopt = catalogue
+    std::string label;                             // report key; defaults to name
+};
+
+struct CampaignConfig {
+    std::uint64_t base_seed = 1;
+    std::uint64_t scenarios = 64;
+    int threads = 1;
+    // Packets injected per inject/drain round-trip: the hot loop touches the
+    // egress queues once per batch instead of once per packet.
+    std::size_t batch_size = 8;
+    // Catalogue programs to sweep; empty = SpecGenerator::default_programs().
+    std::vector<std::string> programs;
+    // DUT backends; empty = every registered backend except the reference.
+    std::vector<BackendSpec> duts;
+    std::string reference_backend = "reference";
+    bool localize = true;  // replay divergences through FaultLocalizer
+    bool minimize = true;  // reduce to the shortest reproducing prefix
+};
+
+struct DivergenceRecord {
+    std::uint64_t seed = 0;
+    std::string backend;   // BackendSpec label
+    std::string program;
+    std::string quirk_signature;
+    std::string kind;      // "output" | "snapshot" | "config"
+    std::string detail;    // first observed difference, human-readable
+
+    // Triage results.
+    std::uint64_t first_diverging_packet = 0;  // 1-based seq; 0 = unknown
+    std::uint64_t minimized_count = 0;         // shortest reproducing prefix
+    bool minimized_reproduces = false;
+    LocalizeResult localized;
+
+    // backend|quirk-signature|first-diverging-stage: the dedup key.
+    std::string fingerprint;
+    std::uint64_t duplicates = 0;  // later findings folded into this record
+};
+
+struct CampaignReport {
+    std::uint64_t base_seed = 0;
+    std::uint64_t scenarios = 0;
+    std::vector<std::string> programs;
+    std::vector<std::string> backends;        // labels, sweep order
+    std::uint64_t packets_injected = 0;       // every inject() the engine issued
+    std::uint64_t findings_total = 0;         // divergent scenarios before dedup
+    std::vector<DivergenceRecord> divergences;  // deduplicated, discovery order
+
+    double dedup_ratio() const {
+        return divergences.empty()
+                   ? 1.0
+                   : static_cast<double>(findings_total) /
+                         static_cast<double>(divergences.size());
+    }
+
+    std::string to_string() const;
+    // Machine-readable form; deterministic for a given config (no wall time).
+    std::string to_json() const;
+};
+
+// Wall-clock throughput of one run; NOT part of the deterministic report.
+struct CampaignStats {
+    double wall_seconds = 0;
+    double scenarios_per_sec = 0;
+    double packets_per_sec = 0;
+};
+
+class CampaignEngine {
+public:
+    explicit CampaignEngine(CampaignConfig config);
+
+    // Runs the whole sweep; safe to call once per engine.
+    CampaignReport run();
+
+    // Throughput of the last run().
+    const CampaignStats& stats() const { return stats_; }
+
+private:
+    CampaignConfig config_;
+    CampaignStats stats_;
+};
+
+}  // namespace ndb::core

@@ -40,22 +40,19 @@ CampaignResult Controller::run(const TestSpec& spec) {
     result.after = client_.snapshot();
 
     const auto delta = result.after.delta_since(result.before);
-    result.unaccounted_packets =
-        static_cast<std::int64_t>(delta.stages.parser_in) -
-        static_cast<std::int64_t>(delta.stages.parser_rejected +
-                                  delta.stages.parser_errors +
-                                  delta.stages.ingress_dropped +
-                                  delta.stages.egress_dropped +
-                                  delta.stages.forwarded);
+    result.unaccounted_packets = delta.unaccounted_packets();
+    result.misdirected = static_cast<std::int64_t>(delta.misdirected);
 
     result.passed = result.check.passed;
     result.summary = util::format(
-        "%s: %s | injected=%llu observed=%llu violations=%llu unaccounted=%lld",
+        "%s: %s | injected=%llu observed=%llu violations=%llu unaccounted=%lld "
+        "misdirected=%lld",
         spec.name.c_str(), result.passed ? "PASS" : "FAIL",
         static_cast<unsigned long long>(result.generator.injected),
         static_cast<unsigned long long>(result.check.observed),
         static_cast<unsigned long long>(result.check.violations),
-        static_cast<long long>(result.unaccounted_packets));
+        static_cast<long long>(result.unaccounted_packets),
+        static_cast<long long>(result.misdirected));
     return result;
 }
 

@@ -24,6 +24,7 @@ struct CampaignResult {
     control::StatusSnapshot before;
     control::StatusSnapshot after;
     std::int64_t unaccounted_packets = 0;  // in-device silent losses
+    std::int64_t misdirected = 0;          // forwarded to a nonexistent port
     bool passed = false;
     std::string summary;
 };

@@ -1,0 +1,73 @@
+// Seeded scenario synthesis for differential fuzzing campaigns.
+//
+// A Scenario is everything one campaign iteration needs: a catalogue
+// program, a replayable control-plane configuration, and a TestSpec whose
+// template + field-mutation plan drives the packet stream.  Scenarios are a
+// pure function of the seed, so any divergence a sweep finds is reproduced
+// by re-running its seed -- the corpus under tests/corpus/ is just a list
+// of such seeds.  Ground truth is not encoded here: the campaign engine
+// derives expectations by running the same scenario on the reference
+// backend (the paper's "golden device").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/runtime.h"
+#include "core/testspec.h"
+#include "p4/ir.h"
+#include "util/bitvec.h"
+
+namespace ndb::core {
+
+// One replayable control-plane programming step.  Scenarios carry these
+// instead of side effects so the identical configuration can be applied to
+// the reference device and every DUT in the sweep.
+struct ConfigOp {
+    enum class Kind { add_entry, set_default_action, write_register };
+
+    Kind kind = Kind::add_entry;
+    std::string target;  // table name, or register extern name
+
+    control::EntrySpec entry;                // add_entry
+    std::string action;                      // set_default_action
+    std::vector<util::Bitvec> action_args;   // set_default_action
+    std::uint64_t index = 0;                 // write_register
+    util::Bitvec value;                      // write_register
+};
+
+// Executes one op against a runtime surface.
+control::Status apply_config_op(control::RuntimeApi& rt, const ConfigOp& op);
+
+struct Scenario {
+    std::uint64_t seed = 0;
+    std::string program;  // catalogue name
+    std::shared_ptr<const p4::ir::Program> compiled;
+    std::vector<ConfigOp> config;
+    TestSpec spec;
+};
+
+class SpecGenerator {
+public:
+    // `programs` restricts synthesis to those catalogue entries (all must
+    // exist); empty selects the default fuzzable subset.
+    explicit SpecGenerator(std::vector<std::string> programs = {});
+
+    const std::vector<std::string>& programs() const { return programs_; }
+
+    // The catalogue subset a default-constructed generator sweeps.
+    static std::vector<std::string> default_programs();
+
+    // Builds the scenario for `seed`.  Deterministic and const: safe to call
+    // concurrently from every campaign worker.
+    Scenario make(std::uint64_t seed) const;
+
+private:
+    std::vector<std::string> programs_;
+    // Parallel to programs_; compiled once so the per-scenario hot path
+    // never re-runs the P4 frontend.
+    std::vector<std::shared_ptr<const p4::ir::Program>> compiled_;
+};
+
+}  // namespace ndb::core

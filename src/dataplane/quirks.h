@@ -8,6 +8,8 @@
 // the parser reject state, so packets that must be dropped are forwarded.
 #pragma once
 
+#include <string>
+
 namespace ndb::dataplane {
 
 struct Quirks {
@@ -41,6 +43,28 @@ struct Quirks {
         return reject_as_accept || parser_depth_limit > 0 || skip_checksum_update ||
                shift_miscompile || table_size_clamp > 0 ||
                ternary_priority_inverted || metadata_clobber;
+    }
+
+    // Canonical "+"-joined list of the active quirks ("none" when faithful),
+    // stable across runs: campaign fingerprints and corpus entries key on it.
+    std::string signature() const {
+        std::string s;
+        const auto tag = [&s](const std::string& t) {
+            if (!s.empty()) s += '+';
+            s += t;
+        };
+        if (reject_as_accept) tag("reject_as_accept");
+        if (parser_depth_limit > 0) {
+            tag("parser_depth_limit=" + std::to_string(parser_depth_limit));
+        }
+        if (skip_checksum_update) tag("skip_checksum_update");
+        if (shift_miscompile) tag("shift_miscompile");
+        if (table_size_clamp > 0) {
+            tag("table_size_clamp=" + std::to_string(table_size_clamp));
+        }
+        if (ternary_priority_inverted) tag("ternary_priority_inverted");
+        if (metadata_clobber) tag("metadata_clobber");
+        return s.empty() ? "none" : s;
     }
 };
 

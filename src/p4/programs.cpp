@@ -746,6 +746,85 @@ NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
     return src;
 }
 
+std::string_view shift_mangler() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata { }
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply {
+        hdr.ethernet.etherType = hdr.ethernet.etherType >> 4;
+        hdr.ethernet.dstAddr = hdr.ethernet.dstAddr >> 8;
+        smeta.egress_spec = 9w1;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view meta_echo() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata {
+    bit<16> scratch;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply {
+        hdr.ethernet.etherType = meta.scratch;
+        smeta.egress_spec = 9w1;
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
 std::vector<Sample> all_samples() {
     return {
         {"passthrough", passthrough()},
@@ -760,7 +839,22 @@ std::vector<Sample> all_samples() {
         {"variant_a", variant_a()},
         {"variant_b", variant_b()},
         {"wide_match", wide_match()},
+        {"shift_mangler", shift_mangler()},
+        {"meta_echo", meta_echo()},
     };
+}
+
+std::string_view sample_by_name(std::string_view name) {
+    for (const auto& sample : all_samples()) {
+        if (sample.name == name) return sample.source;
+    }
+    return {};
+}
+
+std::vector<std::string> sample_names() {
+    std::vector<std::string> names;
+    for (auto& sample : all_samples()) names.push_back(std::move(sample.name));
+    return names;
 }
 
 }  // namespace ndb::p4::programs

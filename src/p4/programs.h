@@ -53,6 +53,14 @@ std::string_view variant_b();
 // Wide-key, large tables: resource-quantification use-case.
 std::string_view wide_match();
 
+// Rewrites a header field with a right shift of itself: output bytes depend
+// on shift direction, so a shift-miscompiling backend diverges observably.
+std::string_view shift_mangler();
+
+// Copies an uninitialized user-metadata field into the output: faithful
+// targets emit zeros, targets that skip metadata zeroing emit garbage.
+std::string_view meta_echo();
+
 struct Sample {
     std::string name;
     std::string_view source;
@@ -60,5 +68,12 @@ struct Sample {
 
 // Every sample above, for sweep-style tests and benches.
 std::vector<Sample> all_samples();
+
+// Source of the sample named `name`; empty view when unknown.  Campaign
+// scenario synthesis and corpus replay address the catalogue by name.
+std::string_view sample_by_name(std::string_view name);
+
+// Names of all catalogue entries, in all_samples() order.
+std::vector<std::string> sample_names();
 
 }  // namespace ndb::p4::programs

@@ -36,6 +36,7 @@ void SimDevice::clear_dynamic_state() {
     for (auto& q : egress_queues_) q.clear();
     std::fill(port_counters_.begin(), port_counters_.end(),
               control::PortCounters{});
+    misdirected_ = 0;
     taps_.clear();
 }
 
@@ -77,12 +78,17 @@ void SimDevice::inject(packet::Packet pkt) {
         taps_.push_back(TapRecord{pkt, result});
     }
 
-    if (result.disposition == dataplane::Disposition::forwarded &&
-        result.egress_port < static_cast<std::uint32_t>(config_.num_ports)) {
-        auto& tx = port_counters_[result.egress_port];
-        ++tx.tx_packets;
-        tx.tx_bytes += result.output.size();
-        egress_queues_[result.egress_port].push_back(std::move(result.output));
+    if (result.disposition == dataplane::Disposition::forwarded) {
+        if (result.egress_port < static_cast<std::uint32_t>(config_.num_ports)) {
+            auto& tx = port_counters_[result.egress_port];
+            ++tx.tx_packets;
+            tx.tx_bytes += result.output.size();
+            egress_queues_[result.egress_port].push_back(std::move(result.output));
+        } else {
+            // Models real hardware: a forwarded packet whose egress port does
+            // not exist is discarded on the way to the queues.
+            ++misdirected_;
+        }
     }
 }
 
@@ -317,6 +323,7 @@ control::StatusSnapshot SimDevice::snapshot() {
     control::StatusSnapshot snap;
     snap.taken_at_ns = clock_ns_;
     snap.ports = port_counters_;
+    snap.misdirected = misdirected_;
     if (pipeline_) snap.stages = pipeline_->counters();
     if (prog_ && tables_) {
         snap.tables.reserve(prog_->tables.size());

@@ -90,6 +90,7 @@ private:
 
     std::vector<std::deque<packet::Packet>> egress_queues_;
     std::vector<control::PortCounters> port_counters_;
+    std::uint64_t misdirected_ = 0;
 
     bool taps_enabled_ = false;
     std::vector<TapRecord> taps_;

@@ -152,6 +152,44 @@ TEST(DeviceRuntime, ControllerCampaignOverTheChannel) {
     EXPECT_EQ(result.unaccounted_packets, 0);
 }
 
+TEST(DeviceRuntime, MisdirectedPacketsAreCountedFirstClass) {
+    // passthrough forwards everything to port 1; a one-port device has no
+    // port 1, so the packet is forwarded by the pipeline yet never reaches a
+    // queue.  The snapshot must name that loss instead of hiding it.
+    target::DeviceConfig one_port;
+    one_port.num_ports = 1;
+    auto device = target::make_reference_device(one_port);
+    const auto prog = p4::compile_source(p4::programs::passthrough(), "passthrough");
+    ASSERT_TRUE(device->load(*prog));
+
+    packet::Packet pkt = core::scenario::ipv4_udp_packet();
+    pkt.meta.ingress_port = 0;
+    device->inject(pkt);
+    EXPECT_EQ(device->drain_port(0).size(), 0u);
+
+    const control::StatusSnapshot snap = device->snapshot();
+    EXPECT_EQ(snap.stages.forwarded, 1u);
+    EXPECT_EQ(snap.misdirected, 1u);
+    EXPECT_EQ(snap.unaccounted_packets(), 1);
+    EXPECT_NE(snap.to_string().find("misdirected=1"), std::string::npos);
+
+    // reset_state clears it like every other dynamic counter.
+    ASSERT_TRUE(device->reset_state());
+    EXPECT_EQ(device->snapshot().misdirected, 0u);
+
+    // The campaign surface reports the same loss with attribution.
+    core::Controller controller(*device);
+    core::TestSpec spec;
+    spec.name = "misdirected";
+    spec.tmpl.base = core::scenario::ipv4_udp_packet();
+    spec.count = 5;
+    const core::CampaignResult result = controller.run(spec);
+    EXPECT_EQ(result.misdirected, 5);
+    EXPECT_EQ(result.unaccounted_packets, 5);
+    EXPECT_NE(result.summary.find("misdirected=5"), std::string::npos)
+        << result.summary;
+}
+
 TEST(DeviceRuntime, TapRingKeepsNewestRecordsAndHonoursZeroCap) {
     const auto prog = p4::compile_source(p4::programs::passthrough(), "passthrough");
     packet::Packet pkt = core::scenario::ipv4_udp_packet();

@@ -1,0 +1,127 @@
+// ndb_campaign: differential fuzzing campaign driver.
+//
+//   ndb_campaign [--seeds N] [--seed BASE] [--threads T] [--batch B]
+//                [--programs a,b,...] [--backends a,b,...]
+//                [--no-localize] [--no-minimize] [--out BENCH_campaign.json]
+//
+// Runs N seeded scenarios differentially against every selected backend,
+// prints the triaged divergence report, and writes a benchmark JSON with
+// both the deterministic findings and the wall-clock throughput numbers
+// (scenarios/sec, packets/sec) so the perf trajectory is measurable.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "util/strings.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out = ndb::util::split(s, ',');
+    std::erase(out, "");
+    return out;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seeds N] [--seed BASE] [--threads T] [--batch B]\n"
+                 "          [--programs a,b,...] [--backends a,b,...]\n"
+                 "          [--no-localize] [--no-minimize] [--out FILE]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ndb;
+
+    core::CampaignConfig config;
+    config.scenarios = 256;
+    config.threads = 2;
+    std::string out_path = "BENCH_campaign.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds" || arg == "-n") {
+            config.scenarios = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--seed") {
+            config.base_seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--threads" || arg == "-j") {
+            config.threads = std::atoi(value());
+        } else if (arg == "--batch") {
+            config.batch_size = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--programs") {
+            config.programs = split_csv(value());
+        } else if (arg == "--backends") {
+            for (const auto& name : split_csv(value())) {
+                config.duts.push_back(core::BackendSpec{name, std::nullopt, name});
+            }
+        } else if (arg == "--no-localize") {
+            config.localize = false;
+        } else if (arg == "--no-minimize") {
+            config.minimize = false;
+        } else if (arg == "--out" || arg == "-o") {
+            out_path = value();
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    core::CampaignEngine engine(config);
+    core::CampaignReport report;
+    try {
+        report = engine.run();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    const core::CampaignStats& stats = engine.stats();
+
+    std::fputs(report.to_string().c_str(), stdout);
+    std::printf("throughput: %.0f scenarios/sec, %.0f packets/sec (%.3fs wall, %d thread(s))\n",
+                stats.scenarios_per_sec, stats.packets_per_sec, stats.wall_seconds,
+                config.threads);
+
+    // BENCH_campaign.json: wall-clock wrapper around the deterministic report.
+    std::string json = "{\n";
+    json += "  \"bench\": \"campaign\",\n";
+    json += util::format("  \"threads\": %d,\n", config.threads);
+    json += util::format("  \"batch_size\": %zu,\n", config.batch_size);
+    json += util::format("  \"wall_seconds\": %.6f,\n", stats.wall_seconds);
+    json += util::format("  \"scenarios_per_sec\": %.1f,\n", stats.scenarios_per_sec);
+    json += util::format("  \"packets_per_sec\": %.1f,\n", stats.packets_per_sec);
+    json += "  \"report\": ";
+    {
+        // Indent the nested report two spaces to keep the file readable.
+        const std::string inner = report.to_json();
+        std::string indented;
+        for (std::size_t i = 0; i < inner.size(); ++i) {
+            indented += inner[i];
+            if (inner[i] == '\n' && i + 1 < inner.size()) indented += "  ";
+        }
+        json += indented;
+    }
+    json += "}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out << json;
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return 0;
+}
