@@ -30,18 +30,12 @@ struct StreamItem {
     packet::Packet pkt;
 };
 
-// Compact per-packet view of the internal stage taps.  This is the paper's
-// visibility advantage made part of *detection*: bugs like a depth-limited
-// parser leave the output bytes untouched (unparsed headers ride through as
-// payload) and only the in-device state betrays them.
-struct TapDigest {
-    dataplane::ParserVerdict verdict = dataplane::ParserVerdict::accept;
-    dataplane::Disposition disposition = dataplane::Disposition::forwarded;
-    std::uint32_t egress_port = 0;             // meaningful when forwarded
-    std::uint64_t stage_hash[3] = {0, 0, 0};   // parser/ingress/egress states
-
-    bool operator==(const TapDigest&) const = default;
-};
+// The per-packet view of the internal stage taps is dataplane::TapDigest,
+// hashed in place by the pipeline's streaming digest mode.  This is the
+// paper's visibility advantage made part of *detection*: bugs like a
+// depth-limited parser leave the output bytes untouched (unparsed headers
+// ride through as payload) and only the in-device state betrays them.
+using dataplane::TapDigest;
 
 // Everything observable from running one scenario on one device.
 struct DeviceRun {
@@ -51,36 +45,6 @@ struct DeviceRun {
     control::StatusSnapshot snapshot;
     std::uint64_t injected = 0;
 };
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-// Order-sensitive hash of one stage tap: header validity plus every field
-// value (metadata headers included, mirroring FaultLocalizer's comparison).
-// Timing (cycles) is deliberately excluded: quirked paths may legitimately
-// cost different cycle counts without being behaviourally wrong.
-std::uint64_t hash_state(const p4::ir::Program& prog,
-                         const std::optional<dataplane::PacketState>& tap) {
-    if (!tap) return 0x9e3779b97f4a7c15ull;  // sentinel: stage never reached
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::size_t i = 0; i < prog.headers.size(); ++i) {
-        const auto& inst = tap->headers[i];
-        const unsigned char valid = inst.valid ? 1 : 0;
-        h = fnv1a(h, &valid, 1);
-        if (!inst.valid && !prog.headers[i].is_metadata) continue;
-        for (const auto& field : inst.fields) {
-            const std::string hex = field.to_hex();
-            h = fnv1a(h, hex.data(), hex.size());
-        }
-    }
-    return h;
-}
 
 // The pre-triage core of a finding.
 struct RawDivergence {
@@ -111,8 +75,12 @@ DeviceRun run_scenario_on(target::Device& dev, const Scenario& sc,
     for (const auto& op : sc.config) {
         run.config_ok.push_back(static_cast<bool>(apply_config_op(dev, op)));
     }
-    dev.set_taps_enabled(true);
+    // Streaming digest mode: the pipeline hashes each stage's state in
+    // place, so detection gets the tap signal without a single PacketState
+    // copy (full taps stay reserved for FaultLocalizer replay).
+    dev.set_digests_enabled(true);
     const std::size_t batch = std::max<std::size_t>(1, batch_size);
+    std::vector<packet::Packet> drained;  // reused across every drain round
     std::size_t i = 0;
     while (i < packets.size()) {
         const std::size_t end = std::min(i + batch, packets.size());
@@ -122,32 +90,20 @@ DeviceRun run_scenario_on(target::Device& dev, const Scenario& sc,
         }
         // One queue sweep per batch amortizes the drain round-trip.
         for (int p = 0; p < dev.config().num_ports; ++p) {
-            for (auto& out : dev.drain_port(static_cast<std::uint32_t>(p))) {
+            drained.clear();
+            dev.drain_port_into(static_cast<std::uint32_t>(p), drained);
+            for (auto& out : drained) {
                 run.observed.push_back({static_cast<std::uint32_t>(p), std::move(out)});
             }
         }
     }
-    // Digest the tap ring (synchronous recording: one record per injection
-    // when the device can record at all).
-    const auto& records = dev.tap_records();
+    // Collect the digest ring (synchronous recording: one record per
+    // injection when the device can record at all).
+    std::vector<TapDigest> records = dev.take_digest_records();
     if (records.size() == packets.size()) {
-        run.taps.reserve(records.size());
-        const p4::ir::Program& prog = dev.program();
-        for (const auto& record : records) {
-            TapDigest digest;
-            digest.verdict = record.result.parser_verdict;
-            digest.disposition = record.result.disposition;
-            digest.egress_port =
-                record.result.disposition == dataplane::Disposition::forwarded
-                    ? record.result.egress_port
-                    : 0;
-            digest.stage_hash[0] = hash_state(prog, record.result.tap_after_parser);
-            digest.stage_hash[1] = hash_state(prog, record.result.tap_after_ingress);
-            digest.stage_hash[2] = hash_state(prog, record.result.tap_after_egress);
-            run.taps.push_back(digest);
-        }
+        run.taps = std::move(records);
     }
-    dev.set_taps_enabled(false);
+    dev.set_digests_enabled(false);
     run.snapshot = dev.snapshot();
     return run;
 }
@@ -348,7 +304,9 @@ std::string json_string_array(const std::vector<std::string>& items) {
     std::string out = "[";
     for (std::size_t i = 0; i < items.size(); ++i) {
         if (i) out += ", ";
-        out += "\"" + json_escape(items[i]) + "\"";
+        out += '"';
+        out += json_escape(items[i]);
+        out += '"';
     }
     return out + "]";
 }

@@ -22,6 +22,8 @@ control::Status apply_config_op(control::RuntimeApi& rt, const ConfigOp& op) {
             return rt.set_default_action(op.target, op.action, op.action_args);
         case ConfigOp::Kind::write_register:
             return rt.write_register(op.target, op.index, op.value);
+        case ConfigOp::Kind::configure_meter:
+            return rt.configure_meter(op.target, op.index, op.meter);
     }
     return control::Status::failure("unknown config op");
 }
@@ -324,6 +326,24 @@ void build_shift_mangler(Rng& rng, Scenario& s) {
     }
 }
 
+void build_metered_policer(Rng& rng, Scenario& s) {
+    // Rate-limit the inject port so the 672ns-per-packet timeline outruns
+    // the committed bucket partway through the stream: the meter walks
+    // green -> yellow -> red within one scenario, and red packets drop.
+    ConfigOp op;
+    op.kind = ConfigOp::Kind::configure_meter;
+    op.target = "port_meter";
+    op.index = s.spec.inject_port;
+    op.meter.committed_rate_bps = 1e6 * static_cast<double>(rng.next_range(1, 32));
+    op.meter.committed_burst = 64 + rng.next_range(0, 3) * 96;
+    op.meter.excess_rate_bps = op.meter.committed_rate_bps * 2;
+    op.meter.excess_burst = op.meter.committed_burst + rng.next_range(64, 256);
+    s.config.push_back(std::move(op));
+    s.spec.tmpl.base = scenario::ipv4_udp_packet();
+    s.spec.tmpl.mutations.push_back(
+        mutation(kEthSrcBit + 32, 16, FieldMutation::Mode::random, 0));
+}
+
 void build_meta_echo(Rng& rng, Scenario& s) {
     s.spec.tmpl.base = scenario::ipv4_udp_packet();
     s.spec.tmpl.mutations.push_back(
@@ -336,13 +356,11 @@ void build_meta_echo(Rng& rng, Scenario& s) {
 }  // namespace
 
 std::vector<std::string> SpecGenerator::default_programs() {
-    // The whole catalogue minus metered_policer: meters need rate
-    // configuration to do anything interesting, which ConfigOp does not
-    // model yet.  New samples join the sweep automatically (programs
-    // without a tailored plan get the passthrough-style mutation plan).
-    std::vector<std::string> names = p4::programs::sample_names();
-    std::erase(names, "metered_policer");
-    return names;
+    // The whole catalogue: ConfigOp::configure_meter gives metered_policer
+    // a meaningful rate configuration, so it fuzzes like everything else.
+    // New samples join the sweep automatically (programs without a tailored
+    // plan get the passthrough-style mutation plan).
+    return p4::programs::sample_names();
 }
 
 SpecGenerator::SpecGenerator(std::vector<std::string> programs)
@@ -383,6 +401,7 @@ Scenario SpecGenerator::make(std::uint64_t seed) const {
     else if (s.program == "wide_match") build_wide_match(rng, s);
     else if (s.program == "variant_a" || s.program == "variant_b") build_variant(rng, s);
     else if (s.program == "shift_mangler") build_shift_mangler(rng, s);
+    else if (s.program == "metered_policer") build_metered_policer(rng, s);
     else if (s.program == "meta_echo") build_meta_echo(rng, s);
     else build_passthrough(rng, s);  // catalogue entry without a tailored plan
 

@@ -25,16 +25,17 @@ namespace ndb::core {
 // instead of side effects so the identical configuration can be applied to
 // the reference device and every DUT in the sweep.
 struct ConfigOp {
-    enum class Kind { add_entry, set_default_action, write_register };
+    enum class Kind { add_entry, set_default_action, write_register, configure_meter };
 
     Kind kind = Kind::add_entry;
-    std::string target;  // table name, or register extern name
+    std::string target;  // table name, or register/meter extern name
 
     control::EntrySpec entry;                // add_entry
     std::string action;                      // set_default_action
     std::vector<util::Bitvec> action_args;   // set_default_action
-    std::uint64_t index = 0;                 // write_register
+    std::uint64_t index = 0;                 // write_register / configure_meter
     util::Bitvec value;                      // write_register
+    control::MeterConfig meter;              // configure_meter
 };
 
 // Executes one op against a runtime surface.

@@ -1,0 +1,43 @@
+#include "dataplane/digest.h"
+
+
+namespace ndb::dataplane {
+
+namespace {
+
+inline std::uint64_t fnv1a_byte(std::uint64_t h, unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+// Folds in the exact character sequence of v.to_hex() without building it;
+// digit count and values come from the same Bitvec accessors to_hex() uses,
+// so the two renderings cannot drift apart.
+std::uint64_t fnv1a_hex(std::uint64_t h, const util::Bitvec& v) {
+    static const char* digits = "0123456789abcdef";
+    h = fnv1a_byte(h, '0');
+    h = fnv1a_byte(h, 'x');
+    for (int i = v.hex_digit_count() - 1; i >= 0; --i) {
+        h = fnv1a_byte(h, static_cast<unsigned char>(digits[v.nibble(i)]));
+    }
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t hash_packet_state(const p4::ir::Program& prog,
+                                const PacketState& state) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < prog.headers.size(); ++i) {
+        const auto& inst = state.headers[i];
+        h = fnv1a_byte(h, inst.valid ? 1 : 0);
+        if (!inst.valid && !prog.headers[i].is_metadata) continue;
+        for (const auto& field : inst.fields) {
+            h = fnv1a_hex(h, field);
+        }
+    }
+    return h;
+}
+
+}  // namespace ndb::dataplane

@@ -1,0 +1,28 @@
+// Streaming per-stage state digests.
+//
+// hash_packet_state() is the in-place form of the campaign engine's
+// copy-based tap hashing: an order-sensitive FNV-1a over header validity
+// plus every field value (metadata headers included, mirroring
+// FaultLocalizer's comparison).  Field values are folded in as the exact
+// character sequence of Bitvec::to_hex() -- streamed nibble by nibble, so
+// the digest of a live PacketState is bit-identical to hashing a deep copy
+// while never materializing one.
+//
+// Timing (cycles) is deliberately excluded: quirked paths may legitimately
+// cost different cycle counts without being behaviourally wrong.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/state.h"
+#include "p4/ir.h"
+
+namespace ndb::dataplane {
+
+// Digest value reported for a stage the packet never reached.
+inline constexpr std::uint64_t kStageNotReachedHash = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t hash_packet_state(const p4::ir::Program& prog,
+                                const PacketState& state);
+
+}  // namespace ndb::dataplane

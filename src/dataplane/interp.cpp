@@ -100,20 +100,51 @@ Interpreter::Interpreter(const Program& prog, TableSet& tables, StatefulSet& sta
                          Quirks quirks)
     : prog_(prog), tables_(tables), stateful_(stateful), quirks_(quirks) {}
 
+namespace {
+
+// Re-initializes a pooled frame's local slots to zeroes of the declared
+// widths, reusing storage when the widths already line up.
+void reset_locals(Frame& frame, const std::vector<int>& widths) {
+    frame.locals.resize(widths.size());
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        if (frame.locals[i].width() == widths[i]) {
+            frame.locals[i].zero();
+        } else {
+            frame.locals[i] = Bitvec(widths[i]);
+        }
+    }
+}
+
+}  // namespace
+
+Frame& Interpreter::push_frame() {
+    if (depth_ >= frames_.size()) frames_.emplace_back();
+    return frames_[depth_++];
+}
+
+// Restores the frame depth on scope exit so a throw out of exec_body (e.g.
+// an IR-level width error) cannot permanently leak pool depth on the
+// long-lived interpreter.
+struct Interpreter::FrameScope {
+    Interpreter& interp;
+    ~FrameScope() { interp.pop_frame(); }
+};
+
 void Interpreter::run_control(const p4::ir::Control& control, PacketState& state) {
-    Frame frame;
-    frame.locals.reserve(control.local_widths.size());
-    for (const int w : control.local_widths) frame.locals.emplace_back(w);
+    Frame& frame = push_frame();
+    const FrameScope scope{*this};
+    frame.params.clear();
+    reset_locals(frame, control.local_widths);
     exec_body(control.body, state, frame);
 }
 
-void Interpreter::run_action(int action_id, std::vector<Bitvec> args,
+void Interpreter::run_action(int action_id, std::span<const Bitvec> args,
                              PacketState& state) {
     const auto& action = prog_.actions.at(static_cast<std::size_t>(action_id));
-    Frame frame;
-    frame.params = std::move(args);
-    frame.locals.reserve(action.local_widths.size());
-    for (const int w : action.local_widths) frame.locals.emplace_back(w);
+    Frame& frame = push_frame();
+    const FrameScope scope{*this};
+    frame.params.assign(args.begin(), args.end());
+    reset_locals(frame, action.local_widths);
     exec_body(action.body, state, frame);
 }
 
@@ -138,9 +169,12 @@ void Interpreter::exec(const Stmt& s, PacketState& state, Frame& frame) {
         case Stmt::Kind::assign_slice: {
             Bitvec cur = state.get(s.dst);
             const Bitvec v = eval_expr(prog_, *s.value, state, frame, quirks_);
-            for (int i = s.lo; i <= s.hi; ++i) {
-                cur.set_bit(i, v.bit(i - s.lo));
+            if (v.width() < s.hi - s.lo + 1) {
+                // set_slice zero-fills missing bits; a too-narrow RHS here is
+                // an IR bug and must surface, not silently clear field bits.
+                throw std::out_of_range("assign_slice: value narrower than slice");
             }
+            cur.set_slice(s.hi, s.lo, v);
             state.set(s.dst, std::move(cur));
             return;
         }
@@ -152,24 +186,28 @@ void Interpreter::exec(const Stmt& s, PacketState& state, Frame& frame) {
         case Stmt::Kind::apply_table: {
             state.cycles += 1;  // match stage costs an extra cycle
             const auto& table = prog_.tables.at(static_cast<std::size_t>(s.table));
-            std::vector<Bitvec> keys;
-            keys.reserve(table.keys.size());
+            // The scratch is free for reuse as soon as lookup() returns, so
+            // nested applies inside the resulting action are fine.
+            keys_scratch_.clear();
+            keys_scratch_.reserve(table.keys.size());
             for (const auto& k : table.keys) {
-                keys.push_back(eval_expr(prog_, *k.expr, state, frame, quirks_));
+                keys_scratch_.push_back(eval_expr(prog_, *k.expr, state, frame, quirks_));
             }
             bool hit = false;
-            ActionEntry entry = tables_.lookup(s.table, keys, hit);
+            const ActionEntry& entry = tables_.lookup(s.table, keys_scratch_, hit);
             applies_.push_back({s.table, hit, entry.action_id});
-            run_action(entry.action_id, std::move(entry.args), state);
+            run_action(entry.action_id, entry.args, state);
             return;
         }
         case Stmt::Kind::call_action: {
-            std::vector<Bitvec> args;
-            args.reserve(s.action_args.size());
+            // Like keys_scratch_: run_action copies the args into its frame
+            // before executing, so the scratch may be clobbered by nested calls.
+            args_scratch_.clear();
+            args_scratch_.reserve(s.action_args.size());
             for (const auto& a : s.action_args) {
-                args.push_back(eval_expr(prog_, *a, state, frame, quirks_));
+                args_scratch_.push_back(eval_expr(prog_, *a, state, frame, quirks_));
             }
-            run_action(s.action, std::move(args), state);
+            run_action(s.action, args_scratch_, state);
             return;
         }
         case Stmt::Kind::set_valid:
@@ -215,13 +253,14 @@ void Interpreter::exec_extern(const Stmt& s, PacketState& state, Frame& frame) {
             return;
         }
         case p4::ir::ExternKind::hash: {
-            std::vector<std::uint8_t> bytes;
+            bytes_scratch_.clear();
             for (const auto& input : s.hash_inputs) {
                 const Bitvec v = eval_expr(prog_, *input, state, frame, quirks_);
-                const auto b = v.to_bytes();
-                bytes.insert(bytes.end(), b.begin(), b.end());
+                const std::size_t old = bytes_scratch_.size();
+                bytes_scratch_.resize(old + static_cast<std::size_t>((v.width() + 7) / 8));
+                v.write_bytes(std::span<std::uint8_t>(bytes_scratch_).subspan(old));
             }
-            const std::uint32_t h = packet::crc32(bytes);
+            const std::uint32_t h = packet::crc32(bytes_scratch_);
             state.set(s.ext_dst,
                       Bitvec(32, h).resize(prog_.field(s.ext_dst).width));
             return;
@@ -241,15 +280,38 @@ void Interpreter::checksum_update(PacketState& state, int header,
     const auto& hdr = prog_.headers.at(static_cast<std::size_t>(header));
     const auto& inst = state.headers.at(static_cast<std::size_t>(header));
     // Serialize the header with the checksum field forced to zero, then take
-    // the RFC 1071 checksum of the byte image.
-    Bitvec image;
+    // the RFC 1071 checksum of the byte image.  The image is streamed
+    // MSB-first into the byte scratch instead of built from O(fields^2)
+    // Bitvec concatenations.
+    bytes_scratch_.assign(static_cast<std::size_t>((hdr.size_bits + 7) / 8), 0);
+    std::size_t bitpos = 0;  // wire position, MSB-first
     for (std::size_t f = 0; f < hdr.fields.size(); ++f) {
-        const Bitvec& v = static_cast<int>(f) == checksum_field
-                              ? Bitvec(hdr.fields[f].width)
-                              : inst.fields[f];
-        image = Bitvec::concat(image, v);
+        const int w = hdr.fields[f].width;
+        if (static_cast<int>(f) == checksum_field) {
+            bitpos += static_cast<std::size_t>(w);  // scratch is pre-zeroed
+            continue;
+        }
+        const Bitvec& v = inst.fields[f];
+        // Deposit in <=32-bit chunks, high bits of the field first; the
+        // buffer is pre-zeroed, so OR-ing whole covering bytes suffices.
+        int remaining = w;
+        while (remaining > 0) {
+            const int chunk = std::min(remaining, 32);
+            const std::uint64_t bits =
+                v.slice(remaining - 1, remaining - chunk).to_u64();
+            const std::size_t end = bitpos + static_cast<std::size_t>(chunk);
+            const std::size_t first = bitpos / 8;
+            const std::size_t last = (end + 7) / 8;  // exclusive
+            std::uint64_t acc = bits << (8 * last - end);
+            for (std::size_t i = last; i-- > first;) {
+                bytes_scratch_[i] |= static_cast<std::uint8_t>(acc);
+                acc >>= 8;
+            }
+            bitpos = end;
+            remaining -= chunk;
+        }
     }
-    const std::uint16_t csum = packet::internet_checksum(image.to_bytes());
+    const std::uint16_t csum = packet::internet_checksum(bytes_scratch_);
     const int w = hdr.fields[static_cast<std::size_t>(checksum_field)].width;
     state.set({header, checksum_field}, Bitvec(16, csum).resize(w));
 }

@@ -1,6 +1,9 @@
 // IR interpreter: expression evaluation and match-action control execution.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <span>
 #include <vector>
 
 #include "dataplane/quirks.h"
@@ -32,6 +35,10 @@ Bitvec eval_expr(const p4::ir::Program& prog, const p4::ir::Expr& e,
                  const Quirks& quirks);
 
 // Executes ingress/egress controls over a PacketState.
+//
+// The execution machinery (call frames, table-key scratch, extern byte
+// buffers) is pooled on the interpreter and reused across packets, so a
+// steady-state packet traversal performs no heap allocation of its own.
 class Interpreter {
 public:
     Interpreter(const p4::ir::Program& prog, TableSet& tables, StatefulSet& stateful,
@@ -41,7 +48,7 @@ public:
     void run_control(const p4::ir::Control& control, PacketState& state);
 
     // Runs one action directly (used for table results and direct calls).
-    void run_action(int action_id, std::vector<Bitvec> args, PacketState& state);
+    void run_action(int action_id, std::span<const Bitvec> args, PacketState& state);
 
     const std::vector<TableApply>& applies() const { return applies_; }
     void clear_applies() { applies_.clear(); }
@@ -53,11 +60,23 @@ private:
     void exec_extern(const p4::ir::Stmt& s, PacketState& state, Frame& frame);
     void checksum_update(PacketState& state, int header, int checksum_field);
 
+    // Call-frame pool: frames_ grows to the deepest nesting ever seen and
+    // its vectors keep their capacity, so re-entry is allocation-free.
+    struct FrameScope;
+    Frame& push_frame();
+    void pop_frame() { --depth_; }
+
     const p4::ir::Program& prog_;
     TableSet& tables_;
     StatefulSet& stateful_;
     Quirks quirks_;
     std::vector<TableApply> applies_;
+
+    std::deque<Frame> frames_;  // deque: references stay valid while growing
+    std::size_t depth_ = 0;
+    std::vector<Bitvec> keys_scratch_;
+    std::vector<Bitvec> args_scratch_;
+    std::vector<std::uint8_t> bytes_scratch_;
 };
 
 }  // namespace ndb::dataplane

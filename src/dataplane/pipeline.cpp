@@ -37,9 +37,10 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
     PipelineResult result;
     ++counters_.parser_in;
 
-    PacketState state = PacketState::initial(
-        prog_, in.meta, static_cast<std::uint32_t>(in.size()),
-        options_.quirks.metadata_clobber);
+    state_.ensure_shape(prog_);
+    state_.reset(prog_, in.meta, static_cast<std::uint32_t>(in.size()),
+                 options_.quirks.metadata_clobber);
+    PacketState& state = state_;
 
     const ParserVerdict verdict = parser_.run(in, state);
     result.parser_verdict = verdict;
@@ -55,6 +56,9 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
             break;
     }
     if (options_.capture_taps) result.tap_after_parser = state;
+    if (options_.capture_digests) {
+        result.stage_hash[0] = hash_packet_state(prog_, state);
+    }
     if (verdict != ParserVerdict::accept) {
         result.disposition = Disposition::dropped_parser;
         result.cycles = state.cycles;
@@ -74,6 +78,9 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
     interp_.clear_applies();
     interp_.run_control(prog_.ingress, state);
     if (options_.capture_taps) result.tap_after_ingress = state;
+    if (options_.capture_digests) {
+        result.stage_hash[1] = hash_packet_state(prog_, state);
+    }
     if (state.drop_flagged(prog_)) {
         ++counters_.ingress_dropped;
         result.disposition = Disposition::dropped_ingress;
@@ -101,6 +108,9 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
         state.exited = false;
         interp_.run_control(*prog_.egress, state);
         if (options_.capture_taps) result.tap_after_egress = state;
+        if (options_.capture_digests) {
+            result.stage_hash[2] = hash_packet_state(prog_, state);
+        }
         if (state.drop_flagged(prog_)) {
             ++counters_.egress_dropped;
             result.disposition = Disposition::dropped_egress;

@@ -5,11 +5,13 @@
 // give NetDebug its visibility advantage over external testers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "dataplane/digest.h"
 #include "dataplane/interp.h"
 #include "dataplane/parser_engine.h"
 #include "dataplane/quirks.h"
@@ -36,6 +38,20 @@ enum class Stage { parser = 0, ingress = 1, egress = 2, deparser = 3 };
 inline constexpr int kStageCount = 4;
 const char* stage_name(Stage stage);
 
+// Compact per-packet view of the internal stage taps, hashed in place by
+// the pipeline (streaming mode): the same values the campaign engine used
+// to derive from full PacketState copies, at none of the copy cost.
+struct TapDigest {
+    ParserVerdict verdict = ParserVerdict::accept;
+    Disposition disposition = Disposition::forwarded;
+    std::uint32_t egress_port = 0;  // meaningful when forwarded
+    // parser/ingress/egress states; kStageNotReachedHash when never reached.
+    std::array<std::uint64_t, 3> stage_hash = {
+        kStageNotReachedHash, kStageNotReachedHash, kStageNotReachedHash};
+
+    bool operator==(const TapDigest&) const = default;
+};
+
 struct PipelineResult {
     Disposition disposition = Disposition::forwarded;
     ParserVerdict parser_verdict = ParserVerdict::accept;
@@ -53,11 +69,17 @@ struct PipelineResult {
     std::optional<PacketState> tap_after_parser;
     std::optional<PacketState> tap_after_ingress;
     std::optional<PacketState> tap_after_egress;
+
+    // Streaming digests of the same tap points (populated when
+    // capture_digests is enabled); no state copy is ever made for these.
+    std::array<std::uint64_t, 3> stage_hash = {
+        kStageNotReachedHash, kStageNotReachedHash, kStageNotReachedHash};
 };
 
 struct PipelineOptions {
     Quirks quirks;
-    bool capture_taps = false;
+    bool capture_taps = false;     // full PacketState copies (replay/localize)
+    bool capture_digests = false;  // in-place stage hashes (campaign hot path)
 
     // Fault-injection hook, called after each stage with the live state.
     // Setting PacketState::vanished makes the packet disappear silently.
@@ -86,6 +108,7 @@ public:
     const StageCounters& counters() const { return counters_; }
     void reset_counters() { counters_ = {}; }
     void set_capture_taps(bool on) { options_.capture_taps = on; }
+    void set_capture_digests(bool on) { options_.capture_digests = on; }
 
 private:
     const p4::ir::Program& prog_;
@@ -95,6 +118,9 @@ private:
     ParserEngine parser_;
     Interpreter interp_;
     StageCounters counters_;
+    // Per-packet execution state, reset in place each process() call so the
+    // steady-state hot path performs no per-packet allocation.
+    PacketState state_;
 };
 
 }  // namespace ndb::dataplane

@@ -20,26 +20,50 @@ PacketState PacketState::initial(const p4::ir::Program& prog,
                                  const packet::PacketMeta& meta,
                                  std::uint32_t packet_len, bool clobber_meta) {
     PacketState st;
-    st.meta = meta;
-    st.headers.reserve(prog.headers.size());
+    st.ensure_shape(prog);
+    st.reset(prog, meta, packet_len, clobber_meta);
+    return st;
+}
+
+void PacketState::ensure_shape(const p4::ir::Program& prog) {
+    if (shaped_for == &prog) return;
+    headers.clear();
+    headers.reserve(prog.headers.size());
     for (const auto& h : prog.headers) {
         HeaderInstance inst;
-        inst.valid = h.is_metadata;
         inst.fields.reserve(h.fields.size());
-        for (const auto& f : h.fields) {
-            util::Bitvec v(f.width);
-            if (clobber_meta && h.is_metadata && h.name != "standard_metadata") {
-                // Alternate bit pattern models uninitialized device memory.
-                for (int i = 0; i < f.width; i += 2) v.set_bit(i, true);
-            }
-            inst.fields.push_back(std::move(v));
-        }
-        st.headers.push_back(std::move(inst));
+        for (const auto& f : h.fields) inst.fields.emplace_back(f.width);
+        headers.push_back(std::move(inst));
     }
-    st.set(prog.f_ingress_port, util::Bitvec(9, meta.ingress_port));
-    st.set(prog.f_packet_length, util::Bitvec(32, packet_len));
-    st.set(prog.f_timestamp, util::Bitvec(48, meta.rx_time_ns / 1000));  // usec
-    return st;
+    shaped_for = &prog;
+}
+
+void PacketState::reset(const p4::ir::Program& prog, const packet::PacketMeta& m,
+                        std::uint32_t packet_len, bool clobber_meta) {
+    meta = m;
+    parser_verdict = ParserVerdict::accept;
+    cycles = 0;
+    exited = false;
+    vanished = false;
+    payload.clear();
+    for (std::size_t hi = 0; hi < prog.headers.size(); ++hi) {
+        const auto& h = prog.headers[hi];
+        auto& inst = headers[hi];
+        inst.valid = h.is_metadata;
+        const bool clobber =
+            clobber_meta && h.is_metadata && h.name != "standard_metadata";
+        for (std::size_t fi = 0; fi < h.fields.size(); ++fi) {
+            util::Bitvec& v = inst.fields[fi];
+            v.zero();
+            if (clobber) {
+                // Alternate bit pattern models uninitialized device memory.
+                for (int i = 0; i < h.fields[fi].width; i += 2) v.set_bit(i, true);
+            }
+        }
+    }
+    set(prog.f_ingress_port, util::Bitvec(9, m.ingress_port));
+    set(prog.f_packet_length, util::Bitvec(32, packet_len));
+    set(prog.f_timestamp, util::Bitvec(48, m.rx_time_ns / 1000));  // usec
 }
 
 const util::Bitvec& PacketState::get(p4::ir::FieldRef ref) const {

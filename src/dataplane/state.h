@@ -29,6 +29,10 @@ struct HeaderInstance {
 struct PacketState {
     std::vector<HeaderInstance> headers;   // parallel to ir::Program::headers
     std::vector<std::uint8_t> payload;     // bytes beyond the parsed headers
+    // The program `headers` was last shaped for; identity, not equivalence,
+    // so ensure_shape() rebuilds whenever a different Program object shows
+    // up even if it happens to declare the same header count.
+    const p4::ir::Program* shaped_for = nullptr;
     packet::PacketMeta meta;
     ParserVerdict parser_verdict = ParserVerdict::accept;
     std::uint64_t cycles = 0;  // accumulated processing cost
@@ -43,6 +47,16 @@ struct PacketState {
                                const packet::PacketMeta& meta,
                                std::uint32_t packet_len,
                                bool clobber_meta = false);
+
+    // Allocates the header/field slots for `prog` (no-op when already
+    // shaped for exactly that program object).
+    void ensure_shape(const p4::ir::Program& prog);
+
+    // Re-initializes an already-shaped state in place, equivalent to
+    // initial() but reusing every allocation: the pipeline's per-packet
+    // scratch path.
+    void reset(const p4::ir::Program& prog, const packet::PacketMeta& m,
+               std::uint32_t packet_len, bool clobber_meta = false);
 
     const util::Bitvec& get(p4::ir::FieldRef ref) const;
     void set(p4::ir::FieldRef ref, util::Bitvec value);

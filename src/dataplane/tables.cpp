@@ -1,6 +1,8 @@
 #include "dataplane/tables.h"
 
 #include <algorithm>
+#include <array>
+#include <optional>
 #include <stdexcept>
 
 namespace ndb::dataplane {
@@ -23,11 +25,422 @@ Bitvec concat_keys(std::span<const Bitvec> keys) {
     return out;
 }
 
-// --- exact ------------------------------------------------------------------
-
-class ExactEngine final : public MatchEngine {
+// --- packed key image ---------------------------------------------------------
+//
+// Little-endian word image of the concatenated key elements (first element
+// in the high-order bits), truncated/zero-extended to the table's total key
+// width -- exactly concat_keys(keys).resize(total_width), but built on the
+// stack with no Bitvec temporaries.  Keys up to kInlineWords*64 bits
+// (everything in the catalogue) never allocate.
+class PackedKey {
 public:
-    ExactEngine(int total_width, std::size_t capacity)
+    static int words_for(int width) { return width <= 64 ? 1 : (width + 63) / 64; }
+
+    void pack(std::span<const Bitvec> keys, int total_width) {
+        nwords_ = words_for(total_width);
+        std::uint64_t* w = data();
+        for (int i = 0; i < nwords_; ++i) w[i] = 0;
+        // Last key occupies the low bits: walk the elements back to front.
+        int bitpos = 0;
+        for (std::size_t k = keys.size(); k-- > 0;) {
+            const Bitvec& key = keys[k];
+            const auto src = key.word_span();
+            const int off = bitpos % 64;
+            for (std::size_t i = 0; i < src.size(); ++i) {
+                const int base = bitpos / 64 + static_cast<int>(i);
+                if (base < nwords_) w[base] |= src[i] << off;
+                if (off != 0 && base + 1 < nwords_) {
+                    w[base + 1] |= src[i] >> (64 - off);
+                }
+            }
+            bitpos += key.width();
+        }
+        const int rem = total_width % 64;
+        if (rem != 0) w[nwords_ - 1] &= ~0ull >> (64 - rem);
+    }
+
+    // In-place AND with a mask image of the same word count.
+    void band_with(const PackedKey& mask) {
+        std::uint64_t* w = data();
+        const std::uint64_t* m = mask.data();
+        for (int i = 0; i < nwords_; ++i) w[i] &= m[i];
+    }
+
+    // Clears the low `drop` bits (LPM prefix masking: keep the top bits).
+    void clear_low_bits(int drop) {
+        std::uint64_t* w = data();
+        for (int i = 0; i < nwords_ && drop > 0; ++i, drop -= 64) {
+            if (drop >= 64) {
+                w[i] = 0;
+            } else {
+                w[i] &= ~0ull << drop;
+            }
+        }
+    }
+
+    std::span<const std::uint64_t> words() const {
+        return {data(), static_cast<std::size_t>(nwords_)};
+    }
+
+    bool operator==(const PackedKey& o) const {
+        if (nwords_ != o.nwords_) return false;
+        const std::uint64_t* a = data();
+        const std::uint64_t* b = o.data();
+        for (int i = 0; i < nwords_; ++i) {
+            if (a[i] != b[i]) return false;
+        }
+        return true;
+    }
+
+    std::size_t hash() const {
+        std::size_t h = 0xcbf29ce484222325ull;
+        const std::uint64_t* w = data();
+        for (int i = 0; i < nwords_; ++i) {
+            h ^= w[i];
+            h *= 0x100000001b3ull;
+            h ^= h >> 29;
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kInlineWords = 4;
+
+    std::uint64_t* data() {
+        if (nwords_ > kInlineWords && wide_.size() < static_cast<std::size_t>(nwords_)) {
+            wide_.resize(static_cast<std::size_t>(nwords_));
+        }
+        return nwords_ <= kInlineWords ? inline_.data() : wide_.data();
+    }
+    const std::uint64_t* data() const {
+        return nwords_ <= kInlineWords ? inline_.data() : wide_.data();
+    }
+
+    std::array<std::uint64_t, kInlineWords> inline_{};
+    std::vector<std::uint64_t> wide_;  // only for keys wider than 256 bits
+    int nwords_ = 1;
+};
+
+struct PackedKeyHash {
+    std::size_t operator()(const PackedKey& k) const { return k.hash(); }
+};
+
+// Open-addressing hash map from PackedKey to ActionEntry: power-of-two
+// capacity, linear probing, tombstoned erase.  A lookup is one hash, a
+// couple of contiguous slot probes and zero pointer chasing -- the node
+// allocations and bucket indirection of std::unordered_map are what kept
+// the previous exact engine an order of magnitude below line rate.
+class FlatKeyMap {
+public:
+    const ActionEntry* find(const PackedKey& k) const {
+        if (slots_.empty()) return nullptr;
+        std::size_t i = k.hash() & mask_;
+        for (;;) {
+            const Slot& s = slots_[i];
+            if (s.state == kEmpty) return nullptr;
+            if (s.state == kFull && s.key == k) return &s.value;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    bool contains(const PackedKey& k) const { return find(k) != nullptr; }
+
+    // Precondition: !contains(k).
+    void insert(PackedKey k, ActionEntry v) {
+        if ((used_ + 1) * 10 >= slots_.size() * 7) grow();
+        std::size_t i = k.hash() & mask_;
+        while (slots_[i].state == kFull) i = (i + 1) & mask_;
+        if (slots_[i].state == kEmpty) ++used_;  // tombstones are re-used
+        slots_[i] = Slot{kFull, std::move(k), std::move(v)};
+        ++size_;
+    }
+
+    bool erase(const PackedKey& k) {
+        if (slots_.empty()) return false;
+        std::size_t i = k.hash() & mask_;
+        for (;;) {
+            Slot& s = slots_[i];
+            if (s.state == kEmpty) return false;
+            if (s.state == kFull && s.key == k) {
+                s.state = kTombstone;
+                s.value = ActionEntry{};
+                --size_;
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void clear() {
+        slots_.clear();
+        mask_ = 0;
+        size_ = 0;
+        used_ = 0;
+    }
+
+private:
+    enum State : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+    struct Slot {
+        State state = kEmpty;
+        PackedKey key;
+        ActionEntry value;
+    };
+
+    void grow() {
+        const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+        size_ = 0;
+        used_ = 0;
+        for (auto& s : old) {
+            if (s.state == kFull) insert(std::move(s.key), std::move(s.value));
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::size_t used_ = 0;  // full + tombstoned slots (probe-chain length bound)
+};
+
+// --- indexed exact ------------------------------------------------------------
+
+class IndexedExactEngine final : public MatchEngine {
+public:
+    IndexedExactEngine(int total_width, std::size_t capacity)
+        : total_width_(total_width), capacity_(capacity) {}
+
+    InsertStatus insert(const TableEntry& entry) override {
+        PackedKey key;
+        key.pack(entry.key_values, total_width_);
+        if (map_.contains(key)) return InsertStatus::duplicate;
+        if (map_.size() >= capacity_) return InsertStatus::table_full;
+        map_.insert(std::move(key), ActionEntry{entry.action_id, entry.action_args});
+        return InsertStatus::ok;
+    }
+
+    bool erase(const TableEntry& entry) override {
+        PackedKey key;
+        key.pack(entry.key_values, total_width_);
+        return map_.erase(key);
+    }
+
+    const ActionEntry* lookup(std::span<const Bitvec> keys) const override {
+        PackedKey key;
+        key.pack(keys, total_width_);
+        return map_.find(key);
+    }
+
+    std::size_t entry_count() const override { return map_.size(); }
+    void clear() override { map_.clear(); }
+
+private:
+    int total_width_;
+    std::size_t capacity_;
+    FlatKeyMap map_;
+};
+
+// --- indexed lpm --------------------------------------------------------------
+
+// One hash table per installed prefix length, probed longest length first:
+// the classic software-LPM layout.  Every map key is the lookup key with
+// its low (width - length) bits cleared.
+class IndexedLpmEngine final : public MatchEngine {
+public:
+    IndexedLpmEngine(int key_width, std::size_t capacity)
+        : key_width_(key_width), capacity_(capacity),
+          by_len_(static_cast<std::size_t>(key_width) + 1) {}
+
+    InsertStatus insert(const TableEntry& entry) override {
+        if (entry.key_values.size() != 1 || entry.prefix_len < 0 ||
+            entry.prefix_len > key_width_) {
+            return InsertStatus::bad_entry;
+        }
+        if (count_ >= capacity_) return InsertStatus::table_full;
+        PackedKey key = masked_key(entry.key_values[0], entry.prefix_len);
+        auto& map = by_len_[static_cast<std::size_t>(entry.prefix_len)];
+        if (map.contains(key)) return InsertStatus::duplicate;
+        if (map.empty()) add_active(entry.prefix_len);
+        map.insert(std::move(key), ActionEntry{entry.action_id, entry.action_args});
+        ++count_;
+        return InsertStatus::ok;
+    }
+
+    bool erase(const TableEntry& entry) override {
+        if (entry.key_values.size() != 1 || entry.prefix_len < 0 ||
+            entry.prefix_len > key_width_) {
+            return false;
+        }
+        auto& map = by_len_[static_cast<std::size_t>(entry.prefix_len)];
+        if (!map.erase(masked_key(entry.key_values[0], entry.prefix_len))) {
+            return false;
+        }
+        --count_;
+        if (map.empty()) {
+            active_lens_.erase(std::find(active_lens_.begin(), active_lens_.end(),
+                                         entry.prefix_len));
+        }
+        return true;
+    }
+
+    const ActionEntry* lookup(std::span<const Bitvec> keys) const override {
+        if (keys.size() != 1) return nullptr;
+        PackedKey key;
+        key.pack(keys.subspan(0, 1), key_width_);
+        int masked_to = key_width_;  // bits still intact (from the top)
+        for (const int len : active_lens_) {
+            // Lengths are visited descending, so masking is monotone: clear
+            // a few more low bits each step instead of re-packing.
+            if (len < masked_to) {
+                key.clear_low_bits(key_width_ - len);
+                masked_to = len;
+            }
+            if (const ActionEntry* found =
+                    by_len_[static_cast<std::size_t>(len)].find(key)) {
+                return found;
+            }
+        }
+        return nullptr;
+    }
+
+    std::size_t entry_count() const override { return count_; }
+
+    void clear() override {
+        for (auto& map : by_len_) map.clear();
+        active_lens_.clear();
+        count_ = 0;
+    }
+
+private:
+    PackedKey masked_key(const Bitvec& value, int prefix_len) const {
+        PackedKey key;
+        key.pack(std::span<const Bitvec>(&value, 1), key_width_);
+        key.clear_low_bits(key_width_ - prefix_len);
+        return key;
+    }
+
+    void add_active(int len) {
+        // Keep descending order so lookups probe longest prefixes first.
+        const auto pos = std::lower_bound(active_lens_.begin(), active_lens_.end(),
+                                          len, std::greater<int>());
+        active_lens_.insert(pos, len);
+    }
+
+    int key_width_;
+    std::size_t capacity_;
+    std::vector<FlatKeyMap> by_len_;
+    std::vector<int> active_lens_;  // non-empty lengths, descending
+    std::size_t count_ = 0;
+};
+
+// --- indexed ternary ----------------------------------------------------------
+
+// Rows kept sorted best-priority-first (insertion order breaks ties, like
+// the naive scan), so a lookup returns the first matching row and exits.
+class IndexedTernaryEngine final : public MatchEngine {
+public:
+    IndexedTernaryEngine(int total_width, std::size_t capacity, bool inverted)
+        : total_width_(total_width), capacity_(capacity), inverted_(inverted) {}
+
+    InsertStatus insert(const TableEntry& entry) override {
+        if (rows_.size() >= capacity_) return InsertStatus::table_full;
+        Row row;
+        make_row_key(entry, row.value, row.mask);
+        for (const auto& existing : rows_) {
+            if (existing.value == row.value && existing.mask == row.mask) {
+                return InsertStatus::duplicate;
+            }
+        }
+        row.priority = entry.priority;
+        row.seq = next_seq_++;
+        row.action = {entry.action_id, entry.action_args};
+        const auto pos = std::upper_bound(
+            rows_.begin(), rows_.end(), row,
+            [this](const Row& a, const Row& b) { return wins(a, b); });
+        rows_.insert(pos, std::move(row));
+        return InsertStatus::ok;
+    }
+
+    bool erase(const TableEntry& entry) override {
+        PackedKey value, mask;
+        make_row_key(entry, value, mask);
+        for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+            if (it->value == value && it->mask == mask) {
+                rows_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const ActionEntry* lookup(std::span<const Bitvec> keys) const override {
+        PackedKey key;
+        key.pack(keys, total_width_);
+        const auto kw = key.words();
+        for (const auto& row : rows_) {
+            const auto vw = row.value.words();
+            const auto mw = row.mask.words();
+            bool match = true;
+            for (std::size_t i = 0; i < kw.size(); ++i) {
+                if ((kw[i] & mw[i]) != vw[i]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) return &row.action;  // best-first order: done
+        }
+        return nullptr;
+    }
+
+    std::size_t entry_count() const override { return rows_.size(); }
+    void clear() override { rows_.clear(); }
+
+private:
+    struct Row {
+        PackedKey value;
+        PackedKey mask;
+        int priority = 0;
+        std::uint64_t seq = 0;
+        ActionEntry action;
+    };
+
+    // Strict-weak order: does `a` win over `b`?
+    bool wins(const Row& a, const Row& b) const {
+        if (a.priority != b.priority) {
+            return inverted_ ? a.priority < b.priority : a.priority > b.priority;
+        }
+        return a.seq < b.seq;  // first-inserted wins ties, like the naive scan
+    }
+
+    void make_row_key(const TableEntry& entry, PackedKey& value,
+                      PackedKey& mask) const {
+        value.pack(entry.key_values, total_width_);
+        if (entry.key_masks.empty()) {
+            const Bitvec all = Bitvec::ones(total_width_);
+            mask.pack(std::span<const Bitvec>(&all, 1), total_width_);
+        } else {
+            mask.pack(entry.key_masks, total_width_);
+        }
+        // Pre-mask the value so matching is (key & mask) == value.
+        value.band_with(mask);
+    }
+
+    int total_width_;
+    std::size_t capacity_;
+    bool inverted_;
+    std::uint64_t next_seq_ = 0;
+    std::vector<Row> rows_;
+};
+
+// --- naive exact (reference) --------------------------------------------------
+
+class NaiveExactEngine final : public MatchEngine {
+public:
+    NaiveExactEngine(int total_width, std::size_t capacity)
         : total_width_(total_width), capacity_(capacity) {}
 
     InsertStatus insert(const TableEntry& entry) override {
@@ -43,11 +456,10 @@ public:
         return map_.erase(key) > 0;
     }
 
-    std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const override {
+    const ActionEntry* lookup(std::span<const Bitvec> keys) const override {
         const Bitvec key = concat_keys(keys).resize(total_width_);
         const auto it = map_.find(key);
-        if (it == map_.end()) return std::nullopt;
-        return it->second;
+        return it == map_.end() ? nullptr : &it->second;
     }
 
     std::size_t entry_count() const override { return map_.size(); }
@@ -59,13 +471,13 @@ private:
     std::unordered_map<Bitvec, ActionEntry, util::BitvecHash> map_;
 };
 
-// --- lpm ---------------------------------------------------------------------
+// --- naive lpm (reference) ----------------------------------------------------
 
 // Binary trie over the key bits, most significant bit first.  The longest
 // prefix on the lookup path wins.
-class LpmEngine final : public MatchEngine {
+class NaiveLpmEngine final : public MatchEngine {
 public:
-    LpmEngine(int key_width, std::size_t capacity)
+    NaiveLpmEngine(int key_width, std::size_t capacity)
         : key_width_(key_width), capacity_(capacity) {
         nodes_.push_back(Node{});  // root
     }
@@ -80,10 +492,8 @@ public:
         std::size_t node = 0;
         for (int i = 0; i < entry.prefix_len; ++i) {
             const bool bit = value.bit(key_width_ - 1 - i);
-            std::size_t& child = bit ? nodes_[node].one : nodes_[node].zero;
+            const std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
             if (child == 0) {
-                child = nodes_.size();
-                // `child` is invalidated by push_back; recompute through index.
                 const std::size_t fresh = nodes_.size();
                 nodes_.push_back(Node{});
                 if (bit) {
@@ -103,7 +513,10 @@ public:
     }
 
     bool erase(const TableEntry& entry) override {
-        if (entry.key_values.size() != 1 || entry.prefix_len < 0) return false;
+        if (entry.key_values.size() != 1 || entry.prefix_len < 0 ||
+            entry.prefix_len > key_width_) {
+            return false;
+        }
         const Bitvec value = entry.key_values[0].resize(key_width_);
         std::size_t node = 0;
         for (int i = 0; i < entry.prefix_len; ++i) {
@@ -118,18 +531,18 @@ public:
         return true;
     }
 
-    std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const override {
-        if (keys.size() != 1) return std::nullopt;
+    const ActionEntry* lookup(std::span<const Bitvec> keys) const override {
+        if (keys.size() != 1) return nullptr;
         const Bitvec key = keys[0].resize(key_width_);
-        std::optional<ActionEntry> best;
+        const ActionEntry* best = nullptr;
         std::size_t node = 0;
-        if (nodes_[0].entry) best = nodes_[0].entry;
+        if (nodes_[0].entry) best = &*nodes_[0].entry;
         for (int i = 0; i < key_width_; ++i) {
             const bool bit = key.bit(key_width_ - 1 - i);
             const std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
             if (child == 0) break;
             node = child;
-            if (nodes_[node].entry) best = nodes_[node].entry;
+            if (nodes_[node].entry) best = &*nodes_[node].entry;
         }
         return best;
     }
@@ -154,11 +567,11 @@ private:
     std::size_t count_ = 0;
 };
 
-// --- ternary -----------------------------------------------------------------
+// --- naive ternary (reference) ------------------------------------------------
 
-class TernaryEngine final : public MatchEngine {
+class NaiveTernaryEngine final : public MatchEngine {
 public:
-    TernaryEngine(int total_width, std::size_t capacity, bool inverted)
+    NaiveTernaryEngine(int total_width, std::size_t capacity, bool inverted)
         : total_width_(total_width), capacity_(capacity), inverted_(inverted) {}
 
     InsertStatus insert(const TableEntry& entry) override {
@@ -197,7 +610,7 @@ public:
         return false;
     }
 
-    std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const override {
+    const ActionEntry* lookup(std::span<const Bitvec> keys) const override {
         const Bitvec key = concat_keys(keys).resize(total_width_);
         const Row* best = nullptr;
         for (const auto& row : entries_) {
@@ -209,8 +622,7 @@ public:
                 best = &row;
             }
         }
-        if (!best) return std::nullopt;
-        return best->action;
+        return best ? &best->action : nullptr;
     }
 
     std::size_t entry_count() const override { return entries_.size(); }
@@ -232,16 +644,34 @@ private:
 }  // namespace
 
 std::unique_ptr<MatchEngine> make_exact_engine(int total_width, std::size_t capacity) {
-    return std::make_unique<ExactEngine>(total_width, capacity);
+    return std::make_unique<IndexedExactEngine>(total_width, capacity);
 }
 
 std::unique_ptr<MatchEngine> make_lpm_engine(int key_width, std::size_t capacity) {
-    return std::make_unique<LpmEngine>(key_width, capacity);
+    return std::make_unique<IndexedLpmEngine>(key_width, capacity);
 }
 
 std::unique_ptr<MatchEngine> make_ternary_engine(int total_width, std::size_t capacity,
                                                  bool inverted_priority) {
-    return std::make_unique<TernaryEngine>(total_width, capacity, inverted_priority);
+    return std::make_unique<IndexedTernaryEngine>(total_width, capacity,
+                                                  inverted_priority);
+}
+
+std::unique_ptr<MatchEngine> make_naive_exact_engine(int total_width,
+                                                     std::size_t capacity) {
+    return std::make_unique<NaiveExactEngine>(total_width, capacity);
+}
+
+std::unique_ptr<MatchEngine> make_naive_lpm_engine(int key_width,
+                                                   std::size_t capacity) {
+    return std::make_unique<NaiveLpmEngine>(key_width, capacity);
+}
+
+std::unique_ptr<MatchEngine> make_naive_ternary_engine(int total_width,
+                                                       std::size_t capacity,
+                                                       bool inverted_priority) {
+    return std::make_unique<NaiveTernaryEngine>(total_width, capacity,
+                                                inverted_priority);
 }
 
 // --- TableSet -------------------------------------------------------------------
@@ -280,9 +710,10 @@ void TableSet::set_default_action(int table_id, ActionEntry entry) {
     slots_.at(static_cast<std::size_t>(table_id)).default_action = std::move(entry);
 }
 
-ActionEntry TableSet::lookup(int table_id, std::span<const Bitvec> keys, bool& hit) {
+const ActionEntry& TableSet::lookup(int table_id, std::span<const Bitvec> keys,
+                                    bool& hit) {
     auto& slot = slots_.at(static_cast<std::size_t>(table_id));
-    if (auto found = slot.engine->lookup(keys)) {
+    if (const ActionEntry* found = slot.engine->lookup(keys)) {
         hit = true;
         ++slot.stats.hits;
         return *found;

@@ -1,12 +1,25 @@
-// Match-action table engines: exact (hash), LPM (bit trie), ternary (TCAM).
+// Match-action table engines: exact (hash), LPM, ternary (TCAM).
 //
 // The control plane programs entries through TableSet; the interpreter
 // performs lookups with key values it evaluated from the packet state.
+//
+// Two engine families implement the same MatchEngine contract:
+//
+//   * the indexed engines (the default) keep the lookup path off the heap
+//     and off linear scans: exact match hashes the concatenated key image,
+//     LPM keeps one hash table per installed prefix length probed longest
+//     first, and ternary keeps its rows priority-sorted so the first match
+//     wins and the scan exits early;
+//   * the naive engines are the original straight-line implementations,
+//     retained as the semantic reference for differential tests and
+//     benchmarks (make_naive_*).
+//
+// Both families are byte-identical in behaviour, including the quirk
+// interplay (ternary_priority_inverted, table_size_clamp).
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -46,15 +59,27 @@ public:
     virtual ~MatchEngine() = default;
     virtual InsertStatus insert(const TableEntry& entry) = 0;
     virtual bool erase(const TableEntry& entry) = 0;  // match on key part only
-    virtual std::optional<ActionEntry> lookup(std::span<const Bitvec> keys) const = 0;
+    // Returns the matched action, or nullptr on miss.  The pointer stays
+    // valid until the engine is next mutated.
+    virtual const ActionEntry* lookup(std::span<const Bitvec> keys) const = 0;
     virtual std::size_t entry_count() const = 0;
     virtual void clear() = 0;
 };
 
+// Indexed engines (the hot-path default).
 std::unique_ptr<MatchEngine> make_exact_engine(int total_width, std::size_t capacity);
 std::unique_ptr<MatchEngine> make_lpm_engine(int key_width, std::size_t capacity);
 std::unique_ptr<MatchEngine> make_ternary_engine(int total_width, std::size_t capacity,
                                                  bool inverted_priority);
+
+// Naive reference engines (linear/bit-at-a-time; for differential testing).
+std::unique_ptr<MatchEngine> make_naive_exact_engine(int total_width,
+                                                     std::size_t capacity);
+std::unique_ptr<MatchEngine> make_naive_lpm_engine(int key_width,
+                                                   std::size_t capacity);
+std::unique_ptr<MatchEngine> make_naive_ternary_engine(int total_width,
+                                                       std::size_t capacity,
+                                                       bool inverted_priority);
 
 // Per-program collection of table engines plus default actions and
 // hit/miss statistics (the statistics feed the status-monitoring use-case).
@@ -73,8 +98,9 @@ public:
     void set_default_action(int table_id, ActionEntry entry);
 
     // Lookup; falls back to the table's default action on miss.
-    // `hit` reports whether an entry matched.
-    ActionEntry lookup(int table_id, std::span<const Bitvec> keys, bool& hit);
+    // `hit` reports whether an entry matched.  The reference stays valid
+    // until the table is next mutated.
+    const ActionEntry& lookup(int table_id, std::span<const Bitvec> keys, bool& hit);
 
     const Stats& stats(int table_id) const;
     std::size_t entry_count(int table_id) const;

@@ -83,6 +83,17 @@ public:
     virtual void inject(packet::Packet pkt) = 0;
     virtual std::vector<packet::Packet> drain_port(std::uint32_t port) = 0;
 
+    // Appends everything pending on `port` to `out` (callers reuse one
+    // buffer across batched inject/drain rounds instead of receiving a
+    // fresh vector per round).  Backends should override with a move-out
+    // implementation; the default adapts drain_port().
+    virtual void drain_port_into(std::uint32_t port,
+                                 std::vector<packet::Packet>& out) {
+        auto drained = drain_port(port);
+        out.insert(out.end(), std::make_move_iterator(drained.begin()),
+                   std::make_move_iterator(drained.end()));
+    }
+
     // Drains and discards everything pending on every port.
     void flush() {
         for (int port = 0; port < config().num_ports; ++port) {
@@ -101,6 +112,24 @@ public:
     virtual bool taps_enabled() const = 0;
     virtual const std::vector<TapRecord>& tap_records() const = 0;
     virtual void clear_tap_records() = 0;
+
+    // Streaming digest mode: per-packet TapDigest records hashed in place
+    // by the pipeline, with the same synchronous-recording contract as the
+    // full tap ring but none of the PacketState copies.  This is what the
+    // campaign engine's detection loop runs on; full taps remain for
+    // replay-based tools (FaultLocalizer).
+    virtual void set_digests_enabled(bool on) = 0;
+    virtual bool digests_enabled() const = 0;
+    virtual const std::vector<dataplane::TapDigest>& digest_records() const = 0;
+    virtual void clear_digest_records() = 0;
+
+    // Moves the digest ring out and leaves it empty: the hot-path accessor
+    // for consumers that would otherwise copy the records per scenario.
+    virtual std::vector<dataplane::TapDigest> take_digest_records() {
+        std::vector<dataplane::TapDigest> out = digest_records();
+        clear_digest_records();
+        return out;
+    }
 
     // Deterministic virtual device clock.
     virtual std::uint64_t now_ns() const = 0;

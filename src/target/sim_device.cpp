@@ -10,10 +10,29 @@ namespace ndb::target {
 
 using control::Status;
 
+namespace {
+// Egress queues keep at least this much capacity so steady-state batched
+// traffic never grows them packet by packet.
+constexpr std::size_t kEgressQueueReserve = 64;
+
+// Shared ring policy for the tap and digest records: evict the oldest half
+// in one move when the cap is hit, so sustained traffic at the cap stays
+// amortized O(1) per packet.
+template <typename T>
+void push_ring(std::vector<T>& ring, std::size_t cap, T record) {
+    if (ring.size() >= cap) {
+        ring.erase(ring.begin(),
+                   ring.begin() + static_cast<long>(ring.size() / 2 + 1));
+    }
+    ring.push_back(std::move(record));
+}
+}  // namespace
+
 SimDevice::SimDevice(DeviceConfig config) : config_(std::move(config)) {
     config_.num_ports = std::max(config_.num_ports, 1);
     clock_ns_ = config_.epoch_ns;
     egress_queues_.resize(static_cast<std::size_t>(config_.num_ports));
+    for (auto& q : egress_queues_) q.reserve(kEgressQueueReserve);
     port_counters_.resize(static_cast<std::size_t>(config_.num_ports));
 }
 
@@ -26,6 +45,7 @@ Status SimDevice::load(const p4::ir::Program& prog) {
     dataplane::PipelineOptions options;
     options.quirks = config_.quirks;
     options.capture_taps = taps_enabled_;
+    options.capture_digests = digests_enabled_;
     pipeline_ = std::make_unique<dataplane::Pipeline>(*prog_, *tables_, *stateful_,
                                                       std::move(options));
     clear_dynamic_state();
@@ -38,6 +58,7 @@ void SimDevice::clear_dynamic_state() {
               control::PortCounters{});
     misdirected_ = 0;
     taps_.clear();
+    digests_.clear();
 }
 
 const p4::ir::Program& SimDevice::program() const {
@@ -69,13 +90,19 @@ void SimDevice::inject(packet::Packet pkt) {
     }
 
     if (taps_enabled_ && config_.max_tap_records > 0) {
-        if (taps_.size() >= config_.max_tap_records) {
-            // Evict the oldest half in one move so sustained traffic at the
-            // cap stays amortized O(1) per packet.
-            taps_.erase(taps_.begin(),
-                        taps_.begin() + static_cast<long>(taps_.size() / 2 + 1));
-        }
-        taps_.push_back(TapRecord{pkt, result});
+        push_ring(taps_, config_.max_tap_records, TapRecord{pkt, result});
+    }
+
+    if (digests_enabled_ && config_.max_tap_records > 0) {
+        dataplane::TapDigest digest;
+        digest.verdict = result.parser_verdict;
+        digest.disposition = result.disposition;
+        digest.egress_port =
+            result.disposition == dataplane::Disposition::forwarded
+                ? result.egress_port
+                : 0;
+        digest.stage_hash = result.stage_hash;
+        push_ring(digests_, config_.max_tap_records, digest);
     }
 
     if (result.disposition == dataplane::Disposition::forwarded) {
@@ -94,17 +121,27 @@ void SimDevice::inject(packet::Packet pkt) {
 
 std::vector<packet::Packet> SimDevice::drain_port(std::uint32_t port) {
     std::vector<packet::Packet> out;
-    if (port >= egress_queues_.size()) return out;
-    auto& q = egress_queues_[port];
-    out.reserve(q.size());
-    for (auto& pkt : q) out.push_back(std::move(pkt));
-    q.clear();
+    drain_port_into(port, out);
     return out;
+}
+
+void SimDevice::drain_port_into(std::uint32_t port,
+                                std::vector<packet::Packet>& out) {
+    if (port >= egress_queues_.size()) return;
+    auto& q = egress_queues_[port];
+    out.insert(out.end(), std::make_move_iterator(q.begin()),
+               std::make_move_iterator(q.end()));
+    q.clear();  // keeps capacity: the queue never re-grows in steady state
 }
 
 void SimDevice::set_taps_enabled(bool on) {
     taps_enabled_ = on;
     if (pipeline_) pipeline_->set_capture_taps(on);
+}
+
+void SimDevice::set_digests_enabled(bool on) {
+    digests_enabled_ = on;
+    if (pipeline_) pipeline_->set_capture_digests(on);
 }
 
 // --- management plane ---------------------------------------------------------

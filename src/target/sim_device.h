@@ -9,7 +9,6 @@
 // source.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -33,10 +32,23 @@ public:
     const DeviceConfig& config() const override { return config_; }
     void inject(packet::Packet pkt) override;
     std::vector<packet::Packet> drain_port(std::uint32_t port) override;
+    void drain_port_into(std::uint32_t port,
+                         std::vector<packet::Packet>& out) override;
     void set_taps_enabled(bool on) override;
     bool taps_enabled() const override { return taps_enabled_; }
     const std::vector<TapRecord>& tap_records() const override { return taps_; }
     void clear_tap_records() override { taps_.clear(); }
+    void set_digests_enabled(bool on) override;
+    bool digests_enabled() const override { return digests_enabled_; }
+    const std::vector<dataplane::TapDigest>& digest_records() const override {
+        return digests_;
+    }
+    void clear_digest_records() override { digests_.clear(); }
+    std::vector<dataplane::TapDigest> take_digest_records() override {
+        std::vector<dataplane::TapDigest> out;
+        out.swap(digests_);
+        return out;
+    }
     std::uint64_t now_ns() const override { return clock_ns_; }
 
     // control::RuntimeApi.
@@ -88,12 +100,17 @@ private:
     std::unique_ptr<dataplane::StatefulSet> stateful_;
     std::unique_ptr<dataplane::Pipeline> pipeline_;
 
-    std::vector<std::deque<packet::Packet>> egress_queues_;
+    // Per-port egress queues: pre-reserved vectors drained by moving the
+    // elements out and keeping the capacity, so batched inject/drain rounds
+    // stop reallocating.
+    std::vector<std::vector<packet::Packet>> egress_queues_;
     std::vector<control::PortCounters> port_counters_;
     std::uint64_t misdirected_ = 0;
 
     bool taps_enabled_ = false;
     std::vector<TapRecord> taps_;
+    bool digests_enabled_ = false;
+    std::vector<dataplane::TapDigest> digests_;
 
     std::uint64_t clock_ns_ = 0;
 };

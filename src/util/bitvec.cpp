@@ -1,14 +1,12 @@
 #include "util/bitvec.h"
 
 #include <algorithm>
-#include <cctype>
+#include <cstring>
 #include <stdexcept>
 
 namespace ndb::util {
 
 namespace {
-
-int words_for(int width) { return (width + 63) / 64; }
 
 int hex_digit(char c) {
     if (c >= '0' && c <= '9') return c - '0';
@@ -17,32 +15,115 @@ int hex_digit(char c) {
     return -1;
 }
 
+// Mask of the low `rem` bits of the top word (rem in [1..64]).
+std::uint64_t top_mask(int width) {
+    const int rem = width % 64;
+    return rem == 0 ? ~0ull : (~0ull >> (64 - rem));
+}
+
 }  // namespace
 
-Bitvec::Bitvec(int width) : width_(width), words_(words_for(width), 0) {
+Bitvec::Bitvec(int width) : width_(width) {
     if (width < 0) throw std::invalid_argument("Bitvec: negative width");
+    if (width <= 64) {
+        inline_ = 0;
+    } else {
+        heap_ = new std::uint64_t[static_cast<std::size_t>(words_for(width))]();
+    }
 }
 
 Bitvec::Bitvec(int width, std::uint64_t value) : Bitvec(width) {
     if (width > 0) {
-        words_[0] = value;
+        words()[0] = value;
         normalize();
     }
 }
 
+Bitvec::Bitvec(const Bitvec& o) : width_(o.width_) {
+    if (is_inline()) {
+        inline_ = o.inline_;
+    } else {
+        const std::size_t n = static_cast<std::size_t>(word_count());
+        heap_ = new std::uint64_t[n];
+        std::memcpy(heap_, o.heap_, n * sizeof(std::uint64_t));
+    }
+}
+
+Bitvec::Bitvec(Bitvec&& o) noexcept : width_(o.width_) {
+    if (is_inline()) {
+        inline_ = o.inline_;
+    } else {
+        heap_ = o.heap_;
+        o.width_ = 0;
+        o.inline_ = 0;
+    }
+}
+
+Bitvec& Bitvec::operator=(const Bitvec& o) {
+    if (this == &o) return *this;
+    if (!is_inline() && !o.is_inline() && word_count() == o.word_count()) {
+        // Same heap footprint: reuse the allocation.
+        width_ = o.width_;
+        std::memcpy(heap_, o.heap_, static_cast<std::size_t>(word_count()) *
+                                        sizeof(std::uint64_t));
+        return *this;
+    }
+    // Acquire the replacement storage before releasing the old one so a
+    // throwing allocation leaves *this untouched (no dangling heap_).
+    std::uint64_t* fresh = nullptr;
+    if (!o.is_inline()) {
+        const std::size_t n = static_cast<std::size_t>(o.word_count());
+        fresh = new std::uint64_t[n];
+        std::memcpy(fresh, o.heap_, n * sizeof(std::uint64_t));
+    }
+    if (!is_inline()) delete[] heap_;
+    width_ = o.width_;
+    if (is_inline()) {
+        inline_ = o.inline_;
+    } else {
+        heap_ = fresh;
+    }
+    return *this;
+}
+
+Bitvec& Bitvec::operator=(Bitvec&& o) noexcept {
+    if (this == &o) return *this;
+    if (!is_inline()) delete[] heap_;
+    width_ = o.width_;
+    if (is_inline()) {
+        inline_ = o.inline_;
+    } else {
+        heap_ = o.heap_;
+        o.width_ = 0;
+        o.inline_ = 0;
+    }
+    return *this;
+}
+
 Bitvec Bitvec::from_bytes(std::span<const std::uint8_t> be_bytes, int width) {
     Bitvec r(width);
-    // Byte 0 of the input is the most significant byte of the value.
-    int bit = 0;  // position from the LSB
-    for (auto it = be_bytes.rbegin(); it != be_bytes.rend(); ++it) {
-        for (int b = 0; b < 8; ++b, ++bit) {
-            if (bit >= width) {
-                if ((*it >> b) & 1) {
-                    throw std::invalid_argument("Bitvec::from_bytes: value exceeds width");
+    std::uint64_t* w = r.words();
+    // Byte 0 of the input is the most significant byte of the value: walk
+    // from the tail, filling whole words.
+    std::size_t bit = 0;
+    for (auto it = be_bytes.rbegin(); it != be_bytes.rend(); ++it, bit += 8) {
+        const std::uint8_t b = *it;
+        if (b == 0) continue;
+        if (bit + 8 <= static_cast<std::size_t>(width)) {
+            // `bit` advances in whole bytes, so the chunk never straddles words.
+            w[bit / 64] |= static_cast<std::uint64_t>(b) << (bit % 64);
+        } else {
+            // Partial or fully-excess byte: excess high-order bits must be 0.
+            for (int k = 0; k < 8; ++k) {
+                if (!((b >> k) & 1)) continue;
+                if (bit + static_cast<std::size_t>(k) >=
+                    static_cast<std::size_t>(width)) {
+                    throw std::invalid_argument(
+                        "Bitvec::from_bytes: value exceeds width");
                 }
-                continue;
+                const std::size_t pos = bit + static_cast<std::size_t>(k);
+                w[pos / 64] |= 1ull << (pos % 64);
             }
-            if ((*it >> b) & 1) r.set_bit(bit, true);
         }
     }
     return r;
@@ -64,72 +145,80 @@ Bitvec Bitvec::from_hex(std::string_view hex, int width) {
             }
             if (on) r.set_bit(bit, true);
         }
-        if (*it == '_') continue;
     }
     return r;
 }
 
 Bitvec Bitvec::ones(int width) {
     Bitvec r(width);
-    for (auto& w : r.words_) w = ~0ull;
+    std::uint64_t* w = r.words();
+    for (int i = 0; i < r.word_count(); ++i) w[i] = ~0ull;
     r.normalize();
     return r;
 }
 
 void Bitvec::normalize() {
-    if (words_.empty()) return;
-    const int rem = width_ % 64;
-    if (rem != 0) {
-        words_.back() &= (~0ull >> (64 - rem));
+    if (width_ == 0) {
+        inline_ = 0;
+        return;
     }
+    words()[word_count() - 1] &= top_mask(width_);
 }
 
-std::uint64_t Bitvec::to_u64() const { return words_.empty() ? 0 : words_[0]; }
+void Bitvec::zero() {
+    std::uint64_t* w = words();
+    for (int i = 0; i < word_count(); ++i) w[i] = 0;
+}
 
 bool Bitvec::fits_u64() const {
-    for (std::size_t i = 1; i < words_.size(); ++i) {
-        if (words_[i] != 0) return false;
+    const std::uint64_t* w = words();
+    for (int i = 1; i < word_count(); ++i) {
+        if (w[i] != 0) return false;
     }
     return true;
 }
 
 bool Bitvec::bit(int i) const {
     if (i < 0 || i >= width_) throw std::out_of_range("Bitvec::bit");
-    return (words_[i / 64] >> (i % 64)) & 1;
+    return (words()[i / 64] >> (i % 64)) & 1;
 }
 
 void Bitvec::set_bit(int i, bool v) {
     if (i < 0 || i >= width_) throw std::out_of_range("Bitvec::set_bit");
     const std::uint64_t mask = 1ull << (i % 64);
     if (v) {
-        words_[i / 64] |= mask;
+        words()[i / 64] |= mask;
     } else {
-        words_[i / 64] &= ~mask;
+        words()[i / 64] &= ~mask;
     }
 }
 
-std::vector<std::uint8_t> Bitvec::to_bytes() const {
-    const int n = (width_ + 7) / 8;
-    std::vector<std::uint8_t> out(n, 0);
-    for (int i = 0; i < width_; ++i) {
-        if (!bit(i)) continue;
-        const int byte_from_lsb = i / 8;
-        out[n - 1 - byte_from_lsb] |= static_cast<std::uint8_t>(1u << (i % 8));
+std::size_t Bitvec::write_bytes(std::span<std::uint8_t> out) const {
+    const std::size_t n = static_cast<std::size_t>((width_ + 7) / 8);
+    if (out.size() < n) throw std::invalid_argument("Bitvec::write_bytes: short buffer");
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Byte i of the output holds value bits [8*(n-1-i) .. 8*(n-1-i)+7];
+        // byte-aligned positions never straddle a word boundary.
+        const std::size_t bit = 8 * (n - 1 - i);
+        out[i] = static_cast<std::uint8_t>(w[bit / 64] >> (bit % 64));
     }
+    return n;
+}
+
+std::vector<std::uint8_t> Bitvec::to_bytes() const {
+    std::vector<std::uint8_t> out(static_cast<std::size_t>((width_ + 7) / 8), 0);
+    write_bytes(out);
     return out;
 }
 
 std::string Bitvec::to_hex() const {
     static const char* digits = "0123456789abcdef";
-    const int n = std::max(1, (width_ + 3) / 4);
+    const int n = hex_digit_count();
     std::string s = "0x";
+    s.reserve(2 + static_cast<std::size_t>(n));
     for (int i = n - 1; i >= 0; --i) {
-        int d = 0;
-        for (int b = 0; b < 4; ++b) {
-            const int pos = i * 4 + b;
-            if (pos < width_ && bit(pos)) d |= 1 << b;
-        }
-        s.push_back(digits[d]);
+        s.push_back(digits[nibble(i)]);
     }
     return s;
 }
@@ -139,20 +228,33 @@ std::string Bitvec::to_string() const {
 }
 
 bool Bitvec::is_zero() const {
-    return std::all_of(words_.begin(), words_.end(),
-                       [](std::uint64_t w) { return w == 0; });
+    const std::uint64_t* w = words();
+    for (int i = 0; i < word_count(); ++i) {
+        if (w[i] != 0) return false;
+    }
+    return true;
 }
 
-bool Bitvec::is_ones() const { return *this == ones(width_); }
+bool Bitvec::is_ones() const {
+    if (width_ == 0) return true;
+    const std::uint64_t* w = words();
+    for (int i = 0; i < word_count() - 1; ++i) {
+        if (w[i] != ~0ull) return false;
+    }
+    return w[word_count() - 1] == top_mask(width_);
+}
 
 Bitvec Bitvec::add(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::add width mismatch");
     Bitvec r(width_);
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = o.words();
+    std::uint64_t* out = r.words();
     unsigned __int128 carry = 0;
     for (int i = 0; i < word_count(); ++i) {
         const unsigned __int128 s =
-            static_cast<unsigned __int128>(words_[i]) + o.words_[i] + carry;
-        r.words_[i] = static_cast<std::uint64_t>(s);
+            static_cast<unsigned __int128>(a[i]) + b[i] + carry;
+        out[i] = static_cast<std::uint64_t>(s);
         carry = s >> 64;
     }
     r.normalize();
@@ -166,13 +268,15 @@ Bitvec Bitvec::neg() const { return bnot().add(Bitvec(width_, width_ ? 1 : 0)); 
 Bitvec Bitvec::mul(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::mul width mismatch");
     Bitvec r(width_);
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = o.words();
+    std::uint64_t* out = r.words();
     for (int i = 0; i < word_count(); ++i) {
         unsigned __int128 carry = 0;
         for (int j = 0; i + j < word_count(); ++j) {
             const unsigned __int128 cur =
-                static_cast<unsigned __int128>(words_[i]) * o.words_[j] +
-                r.words_[i + j] + carry;
-            r.words_[i + j] = static_cast<std::uint64_t>(cur);
+                static_cast<unsigned __int128>(a[i]) * b[j] + out[i + j] + carry;
+            out[i + j] = static_cast<std::uint64_t>(cur);
             carry = cur >> 64;
         }
     }
@@ -183,27 +287,38 @@ Bitvec Bitvec::mul(const Bitvec& o) const {
 Bitvec Bitvec::band(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::band width mismatch");
     Bitvec r(width_);
-    for (int i = 0; i < word_count(); ++i) r.words_[i] = words_[i] & o.words_[i];
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = o.words();
+    std::uint64_t* out = r.words();
+    for (int i = 0; i < word_count(); ++i) out[i] = a[i] & b[i];
     return r;
 }
 
 Bitvec Bitvec::bor(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::bor width mismatch");
     Bitvec r(width_);
-    for (int i = 0; i < word_count(); ++i) r.words_[i] = words_[i] | o.words_[i];
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = o.words();
+    std::uint64_t* out = r.words();
+    for (int i = 0; i < word_count(); ++i) out[i] = a[i] | b[i];
     return r;
 }
 
 Bitvec Bitvec::bxor(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::bxor width mismatch");
     Bitvec r(width_);
-    for (int i = 0; i < word_count(); ++i) r.words_[i] = words_[i] ^ o.words_[i];
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = o.words();
+    std::uint64_t* out = r.words();
+    for (int i = 0; i < word_count(); ++i) out[i] = a[i] ^ b[i];
     return r;
 }
 
 Bitvec Bitvec::bnot() const {
     Bitvec r(width_);
-    for (int i = 0; i < word_count(); ++i) r.words_[i] = ~words_[i];
+    const std::uint64_t* a = words();
+    std::uint64_t* out = r.words();
+    for (int i = 0; i < word_count(); ++i) out[i] = ~a[i];
     r.normalize();
     return r;
 }
@@ -211,26 +326,52 @@ Bitvec Bitvec::bnot() const {
 Bitvec Bitvec::shl(int amount) const {
     if (amount < 0) throw std::invalid_argument("Bitvec::shl negative shift");
     Bitvec r(width_);
-    for (int i = width_ - 1; i >= amount; --i) r.set_bit(i, bit(i - amount));
+    if (amount >= width_) return r;
+    const std::uint64_t* a = words();
+    std::uint64_t* out = r.words();
+    const int word_shift = amount / 64;
+    const int bit_shift = amount % 64;
+    for (int i = word_count() - 1; i >= word_shift; --i) {
+        std::uint64_t v = a[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i - word_shift - 1 >= 0) {
+            v |= a[i - word_shift - 1] >> (64 - bit_shift);
+        }
+        out[i] = v;
+    }
+    r.normalize();
     return r;
 }
 
 Bitvec Bitvec::lshr(int amount) const {
     if (amount < 0) throw std::invalid_argument("Bitvec::lshr negative shift");
     Bitvec r(width_);
-    for (int i = 0; i + amount < width_; ++i) r.set_bit(i, bit(i + amount));
+    if (amount >= width_) return r;
+    const std::uint64_t* a = words();
+    std::uint64_t* out = r.words();
+    const int word_shift = amount / 64;
+    const int bit_shift = amount % 64;
+    const int n = word_count();
+    for (int i = 0; i + word_shift < n; ++i) {
+        std::uint64_t v = a[i + word_shift] >> bit_shift;
+        if (bit_shift != 0 && i + word_shift + 1 < n) {
+            v |= a[i + word_shift + 1] << (64 - bit_shift);
+        }
+        out[i] = v;
+    }
     return r;
 }
 
 bool Bitvec::eq(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::eq width mismatch");
-    return words_ == o.words_;
+    return *this == o;
 }
 
 bool Bitvec::ult(const Bitvec& o) const {
     if (o.width_ != width_) throw std::invalid_argument("Bitvec::ult width mismatch");
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = o.words();
     for (int i = word_count() - 1; i >= 0; --i) {
-        if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+        if (a[i] != b[i]) return a[i] < b[i];
     }
     return false;
 }
@@ -240,28 +381,87 @@ bool Bitvec::ule(const Bitvec& o) const { return !o.ult(*this); }
 Bitvec Bitvec::slice(int hi, int lo) const {
     if (lo < 0 || hi >= width_ || hi < lo) throw std::out_of_range("Bitvec::slice");
     Bitvec r(hi - lo + 1);
-    for (int i = lo; i <= hi; ++i) r.set_bit(i - lo, bit(i));
+    const std::uint64_t* a = words();
+    std::uint64_t* out = r.words();
+    const int word_shift = lo / 64;
+    const int bit_shift = lo % 64;
+    const int n_in = word_count();
+    for (int i = 0; i < r.word_count(); ++i) {
+        std::uint64_t v = 0;
+        if (i + word_shift < n_in) v = a[i + word_shift] >> bit_shift;
+        if (bit_shift != 0 && i + word_shift + 1 < n_in) {
+            v |= a[i + word_shift + 1] << (64 - bit_shift);
+        }
+        out[i] = v;
+    }
+    r.normalize();
     return r;
+}
+
+void Bitvec::set_slice(int hi, int lo, const Bitvec& v) {
+    if (lo < 0 || hi >= width_ || hi < lo) throw std::out_of_range("Bitvec::set_slice");
+    const int n = hi - lo + 1;
+    std::uint64_t* w = words();
+    const std::uint64_t* src = v.words();
+    const int src_words = v.word_count();
+    int written = 0;
+    while (written < n) {
+        const int pos = lo + written;
+        const int in_word = pos % 64;
+        const int chunk = std::min({n - written, 64 - in_word});
+        const int sbit = written;
+        std::uint64_t bits = sbit / 64 < src_words ? src[sbit / 64] >> (sbit % 64) : 0;
+        if (sbit % 64 != 0 && sbit / 64 + 1 < src_words) {
+            bits |= src[sbit / 64 + 1] << (64 - sbit % 64);
+        }
+        // Bits of `v` beyond its width read as zero.
+        if (sbit + chunk > v.width_) {
+            const int live = std::max(0, v.width_ - sbit);
+            bits &= live >= 64 ? ~0ull : ((1ull << live) - 1);
+        }
+        const std::uint64_t mask =
+            (chunk >= 64 ? ~0ull : ((1ull << chunk) - 1)) << in_word;
+        w[pos / 64] = (w[pos / 64] & ~mask) | ((bits << in_word) & mask);
+        written += chunk;
+    }
 }
 
 Bitvec Bitvec::concat(const Bitvec& hi, const Bitvec& lo) {
     Bitvec r(hi.width_ + lo.width_);
-    for (int i = 0; i < lo.width_; ++i) r.set_bit(i, lo.bit(i));
-    for (int i = 0; i < hi.width_; ++i) r.set_bit(lo.width_ + i, hi.bit(i));
+    std::uint64_t* out = r.words();
+    const std::uint64_t* lw = lo.words();
+    for (int i = 0; i < lo.word_count() && i < r.word_count(); ++i) out[i] = lw[i];
+    if (hi.width_ > 0) {
+        const std::uint64_t* hw = hi.words();
+        const int shift_words = lo.width_ / 64;
+        const int shift_bits = lo.width_ % 64;
+        for (int i = 0; i < hi.word_count(); ++i) {
+            const int base = i + shift_words;
+            if (base < r.word_count()) out[base] |= hw[i] << shift_bits;
+            if (shift_bits != 0 && base + 1 < r.word_count()) {
+                out[base + 1] |= hw[i] >> (64 - shift_bits);
+            }
+        }
+    }
+    r.normalize();
     return r;
 }
 
 Bitvec Bitvec::resize(int new_width) const {
     Bitvec r(new_width);
-    const int n = std::min(width_, new_width);
-    for (int i = 0; i < n; ++i) r.set_bit(i, bit(i));
+    const std::uint64_t* a = words();
+    std::uint64_t* out = r.words();
+    const int n = std::min(word_count(), r.word_count());
+    for (int i = 0; i < n; ++i) out[i] = a[i];
+    r.normalize();
     return r;
 }
 
 std::size_t Bitvec::hash() const {
     std::size_t h = static_cast<std::size_t>(width_) * 0x9e3779b97f4a7c15ull;
-    for (const auto w : words_) {
-        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    const std::uint64_t* w = words();
+    for (int i = 0; i < word_count(); ++i) {
+        h ^= w[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     }
     return h;
 }

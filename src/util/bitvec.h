@@ -4,6 +4,13 @@
 // substrate, the P4 interpreter, the table engines and the symbolic
 // bit-blaster.  Widths are arbitrary (bounded only by memory); all
 // arithmetic wraps modulo 2^width, matching P4-16 bit<N> semantics.
+//
+// Representation: widths <= 64 bits -- virtually every P4 field -- live in
+// a single inline word and never touch the heap; wider values own a
+// heap-allocated little-endian word array.  The interpreter hot path
+// (field reads/writes, arithmetic, comparisons) is therefore
+// allocation-free in the common case, and every operation works on whole
+// 64-bit words rather than individual bits.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,14 @@ public:
     // Low 64 bits taken from `value`, truncated to `width`.
     Bitvec(int width, std::uint64_t value);
 
+    Bitvec(const Bitvec& o);
+    Bitvec(Bitvec&& o) noexcept;
+    Bitvec& operator=(const Bitvec& o);
+    Bitvec& operator=(Bitvec&& o) noexcept;
+    ~Bitvec() {
+        if (!is_inline()) delete[] heap_;
+    }
+
     // Big-endian byte image, as it appears on the wire.  The value uses the
     // low `width` bits of the byte string; excess high-order bits must be 0.
     static Bitvec from_bytes(std::span<const std::uint8_t> be_bytes, int width);
@@ -40,7 +55,7 @@ public:
     bool empty() const { return width_ == 0; }
 
     // Low 64 bits of the value (wider values are truncated).
-    std::uint64_t to_u64() const;
+    std::uint64_t to_u64() const { return words()[0]; }
 
     // True when the value fits in 64 bits.
     bool fits_u64() const;
@@ -48,11 +63,29 @@ public:
     bool bit(int i) const;
     void set_bit(int i, bool v);
 
+    // Zeroes the value in place, keeping width and storage.
+    void zero();
+
     // Big-endian image, ceil(width/8) bytes.
     std::vector<std::uint8_t> to_bytes() const;
 
+    // Writes the big-endian image into `out` (must hold >= ceil(width/8)
+    // bytes); returns the byte count.  Allocation-free.
+    std::size_t write_bytes(std::span<std::uint8_t> out) const;
+
     std::string to_hex() const;           // e.g. "0x0a00_0001" without separators
     std::string to_string() const;        // e.g. "32w0x0a000001"
+
+    // Number of hex digits to_hex() renders (always at least one).
+    int hex_digit_count() const { return width_ < 4 ? 1 : (width_ + 3) / 4; }
+
+    // Value of to_hex()'s digit `i`, 0 = least significant.  Shared by
+    // to_hex() and the streaming digest hasher so the two can never drift.
+    int nibble(int i) const {
+        const int bit = i * 4;  // 4-aligned: a nibble never straddles words
+        if (bit >= width_) return 0;
+        return static_cast<int>((words()[bit / 64] >> (bit % 64)) & 0xf);
+    }
 
     bool is_zero() const;
     bool is_ones() const;
@@ -79,6 +112,9 @@ public:
     // Bits [hi..lo] inclusive, P4 slice semantics; result width hi-lo+1.
     Bitvec slice(int hi, int lo) const;
 
+    // Overwrites bits [hi..lo] with the low hi-lo+1 bits of `v`, in place.
+    void set_slice(int hi, int lo, const Bitvec& v);
+
     // `hi` occupies the high-order bits of the result.
     static Bitvec concat(const Bitvec& hi, const Bitvec& lo);
 
@@ -87,17 +123,38 @@ public:
 
     std::size_t hash() const;
 
+    // Little-endian word image, ceil(width/64) words (one word when width
+    // is 0, for uniformity).  The span is invalidated by any mutation.
+    std::span<const std::uint64_t> word_span() const {
+        return {words(), static_cast<std::size_t>(word_count())};
+    }
+
     friend bool operator==(const Bitvec& a, const Bitvec& b) {
-        return a.width_ == b.width_ && a.words_ == b.words_;
+        if (a.width_ != b.width_) return false;
+        const std::uint64_t* wa = a.words();
+        const std::uint64_t* wb = b.words();
+        for (int i = 0; i < a.word_count(); ++i) {
+            if (wa[i] != wb[i]) return false;
+        }
+        return true;
     }
     friend bool operator!=(const Bitvec& a, const Bitvec& b) { return !(a == b); }
 
 private:
+    static int words_for(int width) { return width <= 64 ? 1 : (width + 63) / 64; }
+
+    bool is_inline() const { return width_ <= 64; }
+    int word_count() const { return words_for(width_); }
+    const std::uint64_t* words() const { return is_inline() ? &inline_ : heap_; }
+    std::uint64_t* words() { return is_inline() ? &inline_ : heap_; }
+
     void normalize();  // clears bits above width_
-    int word_count() const { return static_cast<int>(words_.size()); }
 
     int width_ = 0;
-    std::vector<std::uint64_t> words_;  // little-endian words
+    union {
+        std::uint64_t inline_ = 0;      // width_ <= 64
+        std::uint64_t* heap_;           // width_ > 64: words_for(width_) words
+    };
 };
 
 struct BitvecHash {

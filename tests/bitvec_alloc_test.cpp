@@ -1,0 +1,214 @@
+// Bitvec representation tests: the inline small-value storage contract
+// (widths <= 64 never allocate) and word-level operation correctness
+// against a bit-at-a-time reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "util/bitvec.h"
+#include "util/random.h"
+
+// --- instrumented allocator ---------------------------------------------------
+//
+// Counts every global allocation in the test binary.  The counter is only
+// meaningful between reset/read pairs on one thread, which is all the
+// no-allocation assertions need.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using ndb::util::Bitvec;
+using ndb::util::Rng;
+
+std::uint64_t allocations() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(BitvecAlloc, NarrowConstructionAndArithmeticNeverTouchTheHeap) {
+    // Warm up anything lazy (gtest bookkeeping etc.) before counting.
+    Bitvec warm(48, 0x1234);
+    ASSERT_EQ(warm.width(), 48);
+
+    const std::uint64_t before = allocations();
+    for (int width : {1, 8, 9, 16, 32, 48, 63, 64}) {
+        Bitvec a(width, 0xdeadbeefcafef00dull);
+        Bitvec b(width, 0x0123456789abcdefull);
+        Bitvec ones = Bitvec::ones(width);
+
+        Bitvec r = a.add(b);
+        r = r.sub(a);
+        r = r.mul(b);
+        r = r.band(ones);
+        r = r.bor(b);
+        r = r.bxor(a);
+        r = r.bnot();
+        r = r.neg();
+        r = r.shl(width / 2);
+        r = r.lshr(width / 3);
+        r = r.resize(width);
+        if (width > 1) r = r.slice(width - 1, 1).resize(width);
+        r.set_slice(width - 1, 0, a);
+        r.zero();
+        r.set_bit(width - 1, true);
+
+        (void)a.eq(b);
+        (void)a.ult(b);
+        (void)a.ule(b);
+        (void)a.is_zero();
+        (void)a.is_ones();
+        (void)a.to_u64();
+        (void)a.hash();
+        (void)(a == b);
+
+        Bitvec copied = a;           // copy
+        Bitvec moved = std::move(copied);  // move
+        (void)moved;
+        (void)Bitvec::concat(a.slice(width - 1, width / 2),
+                             a.slice(width / 2 != 0 ? width / 2 - 1 : 0, 0));
+    }
+    EXPECT_EQ(allocations(), before)
+        << "a <=64-bit Bitvec operation allocated on the heap";
+}
+
+TEST(BitvecAlloc, WideValuesStillWork) {
+    // > 64 bits takes the heap path; semantics must be unaffected.
+    Bitvec a = Bitvec::from_hex("0x0102030405060708090a0b0c0d0e0f10", 128);
+    EXPECT_EQ(a.width(), 128);
+    EXPECT_FALSE(a.fits_u64());
+    EXPECT_EQ(a.to_u64(), 0x090a0b0c0d0e0f10ull);
+    EXPECT_EQ(a.to_hex(), "0x0102030405060708090a0b0c0d0e0f10");
+
+    const Bitvec b = a.add(Bitvec(128, 1));
+    EXPECT_EQ(b.to_u64(), 0x090a0b0c0d0e0f11ull);
+    EXPECT_TRUE(a.ult(b));
+    EXPECT_EQ(a.slice(127, 64).to_u64(), 0x0102030405060708ull);
+    EXPECT_EQ(Bitvec::concat(a.slice(127, 64), a.slice(63, 0)), a);
+    EXPECT_EQ(a.resize(64).to_u64(), a.to_u64());
+    EXPECT_EQ(a.resize(200).resize(128), a);
+}
+
+// Bit-at-a-time reference implementations of the word-level kernels.
+Bitvec ref_shl(const Bitvec& a, int amount) {
+    Bitvec r(a.width());
+    for (int i = a.width() - 1; i >= amount; --i) r.set_bit(i, a.bit(i - amount));
+    return r;
+}
+
+Bitvec ref_lshr(const Bitvec& a, int amount) {
+    Bitvec r(a.width());
+    for (int i = 0; i + amount < a.width(); ++i) r.set_bit(i, a.bit(i + amount));
+    return r;
+}
+
+Bitvec ref_slice(const Bitvec& a, int hi, int lo) {
+    Bitvec r(hi - lo + 1);
+    for (int i = lo; i <= hi; ++i) r.set_bit(i - lo, a.bit(i));
+    return r;
+}
+
+Bitvec ref_concat(const Bitvec& hi, const Bitvec& lo) {
+    Bitvec r(hi.width() + lo.width());
+    for (int i = 0; i < lo.width(); ++i) r.set_bit(i, lo.bit(i));
+    for (int i = 0; i < hi.width(); ++i) r.set_bit(lo.width() + i, hi.bit(i));
+    return r;
+}
+
+Bitvec random_bitvec(Rng& rng, int width) {
+    Bitvec v(width);
+    for (int i = 0; i < width; i += 64) {
+        const int chunk = std::min(64, width - i);
+        std::uint64_t bits = rng.next_u64();
+        for (int b = 0; b < chunk; ++b) {
+            if ((bits >> b) & 1) v.set_bit(i + b, true);
+        }
+    }
+    return v;
+}
+
+TEST(BitvecWordOps, MatchBitwiseReferenceAcrossWidths) {
+    Rng rng(2024);
+    for (const int width : {1, 7, 31, 64, 65, 96, 128, 200, 257}) {
+        for (int round = 0; round < 24; ++round) {
+            const Bitvec a = random_bitvec(rng, width);
+            const int amount = static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(width) + 2));
+            EXPECT_EQ(a.shl(amount), ref_shl(a, amount)) << width;
+            EXPECT_EQ(a.lshr(amount), ref_lshr(a, amount)) << width;
+
+            const int hi = static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(width)));
+            const int lo = static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(hi) + 1));
+            EXPECT_EQ(a.slice(hi, lo), ref_slice(a, hi, lo)) << width;
+
+            const Bitvec b = random_bitvec(
+                rng, static_cast<int>(rng.next_below(130)));
+            EXPECT_EQ(Bitvec::concat(a, b), ref_concat(a, b)) << width;
+
+            // set_slice == slice round-trip.
+            Bitvec c = a;
+            const Bitvec v = random_bitvec(rng, hi - lo + 1);
+            c.set_slice(hi, lo, v);
+            EXPECT_EQ(c.slice(hi, lo), v) << width;
+            if (lo > 0) {
+                EXPECT_EQ(c.slice(lo - 1, 0), a.slice(lo - 1, 0));
+            }
+            if (hi + 1 < width) {
+                EXPECT_EQ(c.slice(width - 1, hi + 1), a.slice(width - 1, hi + 1));
+            }
+
+            // Byte/hex round-trips.
+            const auto bytes = a.to_bytes();
+            EXPECT_EQ(Bitvec::from_bytes(bytes, width), a) << width;
+            EXPECT_EQ(Bitvec::from_hex(a.to_hex(), width), a) << width;
+        }
+    }
+}
+
+TEST(BitvecWordOps, EdgeBehaviourUnchanged) {
+    // Width-0 identities.
+    const Bitvec empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_TRUE(empty.is_zero());
+    EXPECT_TRUE(empty.is_ones());
+    EXPECT_EQ(Bitvec::concat(empty, Bitvec(8, 0x5a)).to_u64(), 0x5aull);
+    EXPECT_EQ(Bitvec::concat(Bitvec(8, 0x5a), empty).to_u64(), 0x5aull);
+
+    // Overflowing inputs still throw.
+    const std::vector<std::uint8_t> big = {0xff, 0xff};
+    EXPECT_THROW(Bitvec::from_bytes(big, 8), std::invalid_argument);
+    EXPECT_THROW(Bitvec::from_hex("0x1ff", 8), std::invalid_argument);
+    EXPECT_THROW(Bitvec(8, 0).bit(8), std::out_of_range);
+    EXPECT_THROW(Bitvec(8, 0).slice(8, 0), std::out_of_range);
+    EXPECT_THROW(Bitvec(8, 0).add(Bitvec(9, 0)), std::invalid_argument);
+
+    // Truncating constructor masks to width.
+    EXPECT_EQ(Bitvec(4, 0xff).to_u64(), 0xfull);
+    EXPECT_EQ(Bitvec(64, ~0ull).to_u64(), ~0ull);
+    EXPECT_TRUE(Bitvec::ones(65).is_ones());
+}
+
+}  // namespace

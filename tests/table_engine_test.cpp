@@ -1,0 +1,198 @@
+// Differential property tests for the indexed table engines: for random
+// insert/delete/lookup sequences, the indexed exact/LPM/ternary engines
+// must agree operation-for-operation with the retained naive reference
+// implementations -- including the ternary_priority_inverted quirk and
+// capacity (table_size_clamp style) limits.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dataplane/tables.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ndb;
+using dataplane::ActionEntry;
+using dataplane::InsertStatus;
+using dataplane::MatchEngine;
+using dataplane::TableEntry;
+using util::Bitvec;
+using util::Rng;
+
+Bitvec random_value(Rng& rng, int width) {
+    Bitvec v(width);
+    for (int i = 0; i < width; i += 64) {
+        const int chunk = std::min(64, width - i);
+        const std::uint64_t bits = rng.next_u64();
+        for (int b = 0; b < chunk; ++b) {
+            if ((bits >> b) & 1) v.set_bit(i + b, true);
+        }
+    }
+    return v;
+}
+
+// Key layouts under test: a mix of single- and multi-element keys, narrow
+// and wider than one machine word.
+struct KeyShape {
+    std::vector<int> widths;
+    int total() const {
+        int t = 0;
+        for (const int w : widths) t += w;
+        return t;
+    }
+};
+
+const std::vector<KeyShape> kShapes = {
+    {{16}}, {{48}}, {{9, 16, 7}}, {{48, 48, 32, 32, 8}},  // 168-bit wide_match-like
+};
+
+std::vector<Bitvec> random_keys(Rng& rng, const KeyShape& shape) {
+    std::vector<Bitvec> keys;
+    keys.reserve(shape.widths.size());
+    for (const int w : shape.widths) {
+        // Small value space so operations collide often (dups, re-deletes).
+        if (rng.next_bool(0.5)) {
+            keys.push_back(Bitvec(w, rng.next_below(16)));
+        } else {
+            keys.push_back(random_value(rng, w));
+        }
+    }
+    return keys;
+}
+
+void expect_same_lookup(const MatchEngine& indexed, const MatchEngine& naive,
+                        std::span<const Bitvec> keys, const char* what) {
+    const ActionEntry* a = indexed.lookup(keys);
+    const ActionEntry* b = naive.lookup(keys);
+    ASSERT_EQ(a != nullptr, b != nullptr) << what << ": hit/miss disagreement";
+    if (a && b) {
+        EXPECT_EQ(a->action_id, b->action_id) << what;
+        EXPECT_EQ(a->args.size(), b->args.size()) << what;
+        for (std::size_t i = 0; i < a->args.size() && i < b->args.size(); ++i) {
+            EXPECT_EQ(a->args[i], b->args[i]) << what;
+        }
+    }
+}
+
+void drive_pair(MatchEngine& indexed, MatchEngine& naive, Rng& rng,
+                const KeyShape& shape, bool lpm, bool ternary, const char* what) {
+    for (int op = 0; op < 600; ++op) {
+        TableEntry e;
+        e.key_values = random_keys(rng, shape);
+        if (lpm) {
+            e.prefix_len = static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(shape.total()) + 1));
+        }
+        if (ternary) {
+            if (rng.next_bool(0.7)) {
+                for (const int w : shape.widths) {
+                    // Byte-ish masks make overlapping rows likely.
+                    e.key_masks.push_back(
+                        rng.next_bool(0.3) ? Bitvec::ones(w) : random_value(rng, w));
+                }
+            }
+            e.priority = static_cast<int>(rng.next_below(6));
+        }
+        e.action_id = static_cast<int>(rng.next_below(8));
+        e.action_args = {Bitvec(9, rng.next_below(4))};
+
+        const double roll = rng.next_double();
+        if (roll < 0.45) {
+            EXPECT_EQ(indexed.insert(e), naive.insert(e)) << what << " op " << op;
+        } else if (roll < 0.6) {
+            EXPECT_EQ(indexed.erase(e), naive.erase(e)) << what << " op " << op;
+        } else {
+            expect_same_lookup(indexed, naive, e.key_values, what);
+        }
+        ASSERT_EQ(indexed.entry_count(), naive.entry_count()) << what << " op " << op;
+    }
+    // Final sweep: a fresh batch of probes against the settled tables.
+    for (int probe = 0; probe < 200; ++probe) {
+        const auto keys = random_keys(rng, shape);
+        expect_same_lookup(indexed, naive, keys, what);
+    }
+}
+
+TEST(TableEngineDifferential, ExactMatchesNaive) {
+    for (const auto& shape : kShapes) {
+        for (const std::size_t capacity : {4ul, 1024ul}) {
+            Rng rng(shape.total() * 1000 + capacity);
+            auto indexed = dataplane::make_exact_engine(shape.total(), capacity);
+            auto naive = dataplane::make_naive_exact_engine(shape.total(), capacity);
+            drive_pair(*indexed, *naive, rng, shape, false, false, "exact");
+        }
+    }
+}
+
+TEST(TableEngineDifferential, LpmMatchesNaive) {
+    // LPM tables have a single key element.
+    for (const int width : {16, 32, 48}) {
+        for (const std::size_t capacity : {4ul, 1024ul}) {
+            Rng rng(width * 1000 + capacity);
+            const KeyShape shape{{width}};
+            auto indexed = dataplane::make_lpm_engine(width, capacity);
+            auto naive = dataplane::make_naive_lpm_engine(width, capacity);
+            drive_pair(*indexed, *naive, rng, shape, true, false, "lpm");
+        }
+    }
+}
+
+TEST(TableEngineDifferential, TernaryMatchesNaiveUnderBothPriorityOrders) {
+    for (const auto& shape : kShapes) {
+        for (const bool inverted : {false, true}) {
+            for (const std::size_t capacity : {8ul, 256ul}) {
+                Rng rng(shape.total() * 1000 + capacity + (inverted ? 7 : 0));
+                auto indexed =
+                    dataplane::make_ternary_engine(shape.total(), capacity, inverted);
+                auto naive = dataplane::make_naive_ternary_engine(shape.total(),
+                                                                  capacity, inverted);
+                drive_pair(*indexed, *naive, rng, shape, false, true,
+                           inverted ? "ternary(inverted)" : "ternary");
+            }
+        }
+    }
+}
+
+TEST(TableEngineDifferential, ClearResetsBothFamilies) {
+    const KeyShape shape{{32}};
+    Rng rng(99);
+    auto indexed = dataplane::make_exact_engine(32, 64);
+    auto naive = dataplane::make_naive_exact_engine(32, 64);
+    drive_pair(*indexed, *naive, rng, shape, false, false, "pre-clear");
+    indexed->clear();
+    naive->clear();
+    EXPECT_EQ(indexed->entry_count(), 0u);
+    EXPECT_EQ(naive->entry_count(), 0u);
+    drive_pair(*indexed, *naive, rng, shape, false, false, "post-clear");
+}
+
+TEST(TableEngineDifferential, TernaryTieBreaksOnInsertionOrder) {
+    // Two overlapping rows with equal priority: the first inserted must win
+    // in both families, under both priority orders.
+    for (const bool inverted : {false, true}) {
+        for (auto make : {dataplane::make_ternary_engine,
+                          dataplane::make_naive_ternary_engine}) {
+            auto eng = make(16, 8, inverted);
+            TableEntry first;
+            first.key_values = {Bitvec(16, 0x1200)};
+            first.key_masks = {Bitvec(16, 0xff00)};
+            first.priority = 3;
+            first.action_id = 1;
+            TableEntry second;
+            second.key_values = {Bitvec(16, 0x0034)};
+            second.key_masks = {Bitvec(16, 0x00ff)};
+            second.priority = 3;
+            second.action_id = 2;
+            ASSERT_EQ(eng->insert(first), InsertStatus::ok);
+            ASSERT_EQ(eng->insert(second), InsertStatus::ok);
+            const std::vector<Bitvec> probe = {Bitvec(16, 0x1234)};  // matches both
+            const ActionEntry* hit = eng->lookup(probe);
+            ASSERT_NE(hit, nullptr);
+            EXPECT_EQ(hit->action_id, 1) << "inverted=" << inverted;
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Streaming tap digests vs the copy-based implementation.
+//
+// The campaign engine used to deep-copy three PacketState taps per packet
+// and hash the copies; the pipeline now hashes the live state in place.
+// These tests pin the values: for every corpus seed (and both the golden
+// and quirked device images), the in-place TapDigest must be bit-identical
+// to hashing materialized tap copies with the original algorithm.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "core/specgen.h"
+#include "dataplane/digest.h"
+#include "target/device.h"
+
+#ifndef NDB_CORPUS_DIR
+#error "NDB_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace {
+
+using namespace ndb;
+
+// --- the original copy-based hash, kept verbatim as the reference -------------
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t copy_based_hash(const p4::ir::Program& prog,
+                              const std::optional<dataplane::PacketState>& tap) {
+    if (!tap) return 0x9e3779b97f4a7c15ull;  // sentinel: stage never reached
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < prog.headers.size(); ++i) {
+        const auto& inst = tap->headers[i];
+        const unsigned char valid = inst.valid ? 1 : 0;
+        h = fnv1a(h, &valid, 1);
+        if (!inst.valid && !prog.headers[i].is_metadata) continue;
+        for (const auto& field : inst.fields) {
+            const std::string hex = field.to_hex();
+            h = fnv1a(h, hex.data(), hex.size());
+        }
+    }
+    return h;
+}
+
+// --- corpus plumbing ----------------------------------------------------------
+
+struct CorpusEntry {
+    std::string file;
+    std::uint64_t seed = 0;
+    std::string program;
+    std::string quirks_signature;
+};
+
+dataplane::Quirks parse_signature(const std::string& signature) {
+    dataplane::Quirks q;
+    if (signature == "none") return q;
+    std::size_t start = 0;
+    while (start <= signature.size()) {
+        const std::size_t plus = signature.find('+', start);
+        const std::string item = signature.substr(
+            start, plus == std::string::npos ? std::string::npos : plus - start);
+        const std::size_t eq = item.find('=');
+        const std::string key = item.substr(0, eq);
+        const int value =
+            eq == std::string::npos ? 0 : std::stoi(item.substr(eq + 1));
+        if (key == "reject_as_accept") q.reject_as_accept = true;
+        else if (key == "parser_depth_limit") q.parser_depth_limit = value;
+        else if (key == "skip_checksum_update") q.skip_checksum_update = true;
+        else if (key == "shift_miscompile") q.shift_miscompile = true;
+        else if (key == "table_size_clamp") q.table_size_clamp = value;
+        else if (key == "ternary_priority_inverted") q.ternary_priority_inverted = true;
+        else if (key == "metadata_clobber") q.metadata_clobber = true;
+        else ADD_FAILURE() << "unknown quirk in corpus signature: " << key;
+        if (plus == std::string::npos) break;
+        start = plus + 1;
+    }
+    return q;
+}
+
+std::vector<CorpusEntry> load_corpus() {
+    std::vector<CorpusEntry> entries;
+    std::vector<std::filesystem::path> files;
+    for (const auto& file :
+         std::filesystem::directory_iterator(NDB_CORPUS_DIR)) {
+        if (file.path().extension() == ".corpus") files.push_back(file.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+        CorpusEntry entry;
+        entry.file = path.filename().string();
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#') continue;
+            const std::size_t eq = line.find('=');
+            if (eq == std::string::npos) continue;
+            const std::string key = line.substr(0, eq);
+            const std::string value = line.substr(eq + 1);
+            if (key == "seed") entry.seed = std::stoull(value);
+            else if (key == "program") entry.program = value;
+            else if (key == "quirks") entry.quirks_signature = value;
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+// Runs a scenario's packet stream with BOTH full taps and streaming digests
+// enabled and asserts they describe the identical execution.
+void check_device(target::Device& dev, const core::Scenario& sc) {
+    ASSERT_TRUE(dev.load(*sc.compiled));
+    for (const auto& op : sc.config) core::apply_config_op(dev, op);
+
+    dev.set_taps_enabled(true);
+    dev.set_digests_enabled(true);
+
+    core::TestPacketGenerator pgen(sc.spec);
+    for (std::uint64_t seq = 1; seq <= sc.spec.count; ++seq) {
+        dev.inject(pgen.make_packet(seq, 1'000'000 + (seq - 1) * 672));
+    }
+    dev.flush();
+
+    const auto& taps = dev.tap_records();
+    const auto& digests = dev.digest_records();
+    ASSERT_EQ(taps.size(), sc.spec.count);
+    ASSERT_EQ(digests.size(), sc.spec.count);
+
+    const p4::ir::Program& prog = dev.program();
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+        const dataplane::PipelineResult& r = taps[i].result;
+        const dataplane::TapDigest& d = digests[i];
+        EXPECT_EQ(d.verdict, r.parser_verdict) << "packet " << i + 1;
+        EXPECT_EQ(d.disposition, r.disposition) << "packet " << i + 1;
+        EXPECT_EQ(d.stage_hash[0], copy_based_hash(prog, r.tap_after_parser))
+            << "parser tap, packet " << i + 1;
+        EXPECT_EQ(d.stage_hash[1], copy_based_hash(prog, r.tap_after_ingress))
+            << "ingress tap, packet " << i + 1;
+        EXPECT_EQ(d.stage_hash[2], copy_based_hash(prog, r.tap_after_egress))
+            << "egress tap, packet " << i + 1;
+    }
+}
+
+TEST(TapDigest, CorpusSeedsHashIdenticallyToCopyBasedTaps) {
+    const std::vector<CorpusEntry> corpus = load_corpus();
+    ASSERT_FALSE(corpus.empty()) << "empty corpus dir: " << NDB_CORPUS_DIR;
+
+    for (const auto& entry : corpus) {
+        SCOPED_TRACE(entry.file);
+        const core::SpecGenerator gen({entry.program});
+        const core::Scenario sc = gen.make(entry.seed);
+
+        // Golden image and the corpus entry's quirked image both stream the
+        // same digests their tap copies would hash to.
+        auto golden = target::make_device("reference");
+        ASSERT_NE(golden, nullptr);
+        check_device(*golden, sc);
+
+        auto dut = target::make_device("sdnet", parse_signature(entry.quirks_signature));
+        ASSERT_NE(dut, nullptr);
+        check_device(*dut, sc);
+    }
+}
+
+TEST(TapDigest, UnreachedStagesReportTheSentinel) {
+    // A parser-rejected packet never reaches ingress/egress: digests must
+    // carry the same sentinel the copy-based hasher produced for a missing
+    // tap, or stage-level divergence detection would misfire.
+    const core::SpecGenerator gen({"reject_filter"});
+    const core::Scenario sc = gen.make(3);
+    auto dev = target::make_device("reference");
+    ASSERT_TRUE(dev->load(*sc.compiled));
+    dev->set_digests_enabled(true);
+
+    core::TestPacketGenerator pgen(sc.spec);
+    bool saw_reject = false;
+    for (std::uint64_t seq = 1; seq <= sc.spec.count; ++seq) {
+        dev->inject(pgen.make_packet(seq, 1'000'000 + (seq - 1) * 672));
+    }
+    for (const auto& d : dev->digest_records()) {
+        if (d.verdict == dataplane::ParserVerdict::reject) {
+            saw_reject = true;
+            EXPECT_NE(d.stage_hash[0], dataplane::kStageNotReachedHash);
+            EXPECT_EQ(d.stage_hash[1], dataplane::kStageNotReachedHash);
+            EXPECT_EQ(d.stage_hash[2], dataplane::kStageNotReachedHash);
+        }
+    }
+    EXPECT_TRUE(saw_reject) << "reject_filter seed 3 produced no rejects";
+}
+
+}  // namespace
