@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "core/generator.h"
+#include "coverage/coverage.h"
+#include "coverage/scheduler.h"
 #include "target/device.h"
 #include "util/strings.h"
 
@@ -56,6 +60,9 @@ struct RawDivergence {
 struct ScenarioOutcome {
     std::uint64_t packets = 0;  // inject() calls issued, triage included
     std::vector<DivergenceRecord> findings;
+    // Reference-device coverage of the detection run (guided mode only;
+    // heap-held so uniform sweeps don't pay 16 KiB per outcome slot).
+    std::unique_ptr<coverage::CoverageMap> coverage;
 };
 
 std::uint64_t stamp_seq(const packet::Packet& pkt) {
@@ -337,14 +344,13 @@ CampaignReport CampaignEngine::run() {
     report.scenarios = config_.scenarios;
     report.programs = gen.programs();
     for (const auto& d : duts) report.backends.push_back(d.label);
+    report.coverage_enabled = config_.coverage;
+    if (config_.coverage) {
+        report.coverage_map_slots = coverage::CoverageMap::kSlots;
+    }
 
-    std::vector<ScenarioOutcome> outcomes(config_.scenarios);
-    std::atomic<std::uint64_t> next{0};
-
-    const auto run_one = [&](WorkerContext& ctx, std::uint64_t index) {
-        const Scenario sc = gen.make(config_.base_seed + index);
-        ScenarioOutcome outcome;
-
+    const auto run_one = [&](WorkerContext& ctx, const Scenario& sc,
+                             ScenarioOutcome& outcome) {
         // Build the stream once; every backend sees byte-identical stimuli
         // on an identical timeline.
         TestPacketGenerator pgen(sc.spec);
@@ -354,8 +360,18 @@ CampaignReport CampaignEngine::run() {
             packets.push_back(pgen.make_packet(seq, kEpochNs + (seq - 1) * kSlotNs));
         }
 
+        // Guided mode: the reference detection run streams its execution
+        // edges into a per-scenario map (set before run_scenario_on so the
+        // load() inside re-applies it).  Triage replays below run with
+        // coverage off again -- they revisit the same behaviour and would
+        // only re-count edges.
+        if (config_.coverage) {
+            outcome.coverage = std::make_unique<coverage::CoverageMap>();
+            ctx.reference->set_coverage(outcome.coverage.get());
+        }
         const DeviceRun ref_run = run_scenario_on(*ctx.reference, sc, packets,
                                                   config_.batch_size);
+        if (config_.coverage) ctx.reference->set_coverage(nullptr);
         outcome.packets += ref_run.injected;
 
         for (std::size_t d = 0; d < duts.size(); ++d) {
@@ -417,59 +433,149 @@ CampaignReport CampaignEngine::run() {
             rec.fingerprint = rec.backend + "|" + rec.quirk_signature + "|" + stage;
             outcome.findings.push_back(std::move(rec));
         }
-        outcomes[index] = std::move(outcome);
     };
 
     // An exception anywhere in a worker (unknown backend, a device refusing
     // an image) must surface to the caller, not std::terminate the process:
     // capture the first one, stop the pool, rethrow after the join.
+    const int threads = std::clamp(config_.threads, 1, 64);
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
     std::mutex error_mutex;
-    const auto worker = [&] {
-        try {
-            WorkerContext ctx(config_.reference_backend, duts);
-            while (!failed.load(std::memory_order_relaxed)) {
-                const std::uint64_t index = next.fetch_add(1);
-                if (index >= config_.scenarios) break;
-                run_one(ctx, index);
-            }
-        } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
-        }
-    };
+    // One device pool per worker slot, created on first use and reused
+    // across every scheduling round (load() replaces image + state).
+    std::vector<std::unique_ptr<WorkerContext>> contexts(
+        static_cast<std::size_t>(threads));
 
-    const int threads = std::clamp(config_.threads, 1, 64);
-    const auto t0 = std::chrono::steady_clock::now();
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(threads));
-        for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-        for (auto& t : pool) t.join();
-    }
-    if (first_error) std::rethrow_exception(first_error);
-    const auto t1 = std::chrono::steady_clock::now();
+    // Runs `jobs` indexed work items over the worker pool.  Guided mode
+    // calls this once per scheduler round; the job body only writes its own
+    // outcome slot, so results are mergeable in index order afterwards.
+    const auto run_pool =
+        [&](std::uint64_t jobs,
+            const std::function<void(WorkerContext&, std::uint64_t)>& job) {
+            std::atomic<std::uint64_t> next{0};
+            const auto worker = [&](std::size_t slot) {
+                try {
+                    if (!contexts[slot]) {
+                        contexts[slot] = std::make_unique<WorkerContext>(
+                            config_.reference_backend, duts);
+                    }
+                    while (!failed.load(std::memory_order_relaxed)) {
+                        const std::uint64_t index = next.fetch_add(1);
+                        if (index >= jobs) break;
+                        job(*contexts[slot], index);
+                    }
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+            };
+            if (threads <= 1) {
+                worker(0);
+            } else {
+                std::vector<std::thread> pool;
+                pool.reserve(static_cast<std::size_t>(threads));
+                for (int i = 0; i < threads; ++i) {
+                    pool.emplace_back(worker, static_cast<std::size_t>(i));
+                }
+                for (auto& t : pool) t.join();
+            }
+            if (first_error) std::rethrow_exception(first_error);
+        };
 
     // Merge in scenario order so the report never depends on scheduling;
     // dedup keeps the first finding per fingerprint and counts the rest.
+    // Returns whether the outcome contributed a previously unseen
+    // fingerprint (the scheduler's freshness bonus).
     std::map<std::string, std::size_t> seen;
-    for (auto& outcome : outcomes) {
+    std::uint64_t merge_ordinal = 0;
+    const auto fold_outcome = [&](ScenarioOutcome& outcome) {
+        ++merge_ordinal;
         report.packets_injected += outcome.packets;
+        bool fresh = false;
         for (auto& rec : outcome.findings) {
             ++report.findings_total;
             const auto it = seen.find(rec.fingerprint);
             if (it == seen.end()) {
+                rec.discovered_at = merge_ordinal;
                 seen.emplace(rec.fingerprint, report.divergences.size());
                 report.divergences.push_back(std::move(rec));
+                fresh = true;
             } else {
                 ++report.divergences[it->second].duplicates;
             }
         }
+        return fresh;
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!config_.coverage) {
+        // Uniform sweep: every seed in [base, base + scenarios) once.
+        std::vector<ScenarioOutcome> outcomes(config_.scenarios);
+        run_pool(config_.scenarios,
+                 [&](WorkerContext& ctx, std::uint64_t index) {
+                     const Scenario sc = gen.make(config_.base_seed + index);
+                     run_one(ctx, sc, outcomes[index]);
+                 });
+        for (auto& outcome : outcomes) fold_outcome(outcome);
+    } else {
+        // Guided mode: deterministic rounds.  Each round the scheduler
+        // apportions the budget across programs from the feedback merged so
+        // far; slots (program, fresh seed) are fixed before any worker
+        // starts, so thread count never changes what runs or how it merges.
+        coverage::CorpusScheduler scheduler(gen.programs().size());
+        coverage::CoverageMap global;
+        struct GuidedSlot {
+            std::size_t program = 0;
+            std::uint64_t seed = 0;
+        };
+        const std::uint64_t round_cap =
+            std::max<std::uint64_t>(8, 2 * gen.programs().size());
+        std::uint64_t done = 0;
+        std::uint64_t seed_cursor = 0;
+        while (done < config_.scenarios) {
+            const std::uint64_t round =
+                std::min(config_.scenarios - done, round_cap);
+            const std::vector<std::uint64_t> plan = scheduler.plan_round(round);
+            std::vector<GuidedSlot> slots;
+            slots.reserve(static_cast<std::size_t>(round));
+            for (std::size_t p = 0; p < plan.size(); ++p) {
+                for (std::uint64_t k = 0; k < plan[p]; ++k) {
+                    slots.push_back({p, config_.base_seed + seed_cursor++});
+                }
+            }
+            std::vector<ScenarioOutcome> outcomes(slots.size());
+            run_pool(slots.size(), [&](WorkerContext& ctx, std::uint64_t i) {
+                const Scenario sc =
+                    gen.make_for(slots[i].program, slots[i].seed);
+                run_one(ctx, sc, outcomes[i]);
+            });
+            // Round barrier: fold outcomes in slot order, then reward each
+            // program with its per-scenario energy gain (new coverage edges
+            // plus a bonus per fresh divergence fingerprint).
+            std::vector<double> gain(plan.size(), 0.0);
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                const bool fresh = fold_outcome(outcomes[i]);
+                std::size_t new_edges = 0;
+                if (outcomes[i].coverage) {
+                    new_edges = global.merge_new_from(*outcomes[i].coverage);
+                }
+                gain[slots[i].program] +=
+                    static_cast<double>(new_edges) / 8.0 + (fresh ? 1.0 : 0.0);
+            }
+            for (std::size_t p = 0; p < plan.size(); ++p) {
+                if (plan[p] == 0) continue;
+                scheduler.reward(p, gain[p] / static_cast<double>(plan[p]));
+            }
+            done += round;
+            report.coverage_series.push_back(
+                {done, static_cast<std::uint64_t>(global.edges_covered())});
+        }
+        report.coverage_edges =
+            static_cast<std::uint64_t>(global.edges_covered());
     }
+    const auto t1 = std::chrono::steady_clock::now();
 
     stats_.wall_seconds =
         std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
@@ -493,6 +599,17 @@ std::string CampaignReport::to_string() const {
         static_cast<unsigned long long>(packets_injected),
         static_cast<unsigned long long>(findings_total), divergences.size(),
         dedup_ratio());
+    if (coverage_enabled) {
+        s += util::format(
+            "  coverage: %llu/%llu edges (%.1f%%) over %zu round(s)\n",
+            static_cast<unsigned long long>(coverage_edges),
+            static_cast<unsigned long long>(coverage_map_slots),
+            coverage_map_slots
+                ? 100.0 * static_cast<double>(coverage_edges) /
+                      static_cast<double>(coverage_map_slots)
+                : 0.0,
+            coverage_series.size());
+    }
     for (const auto& d : divergences) {
         s += util::format(
             "  [%s] seed=%llu %s: %s (min=%llu pkt, +%llu dup) %s\n",
@@ -519,6 +636,35 @@ std::string CampaignReport::to_json() const {
                       static_cast<unsigned long long>(findings_total));
     s += util::format("  \"divergences_unique\": %zu,\n", divergences.size());
     s += util::format("  \"dedup_ratio\": %.3f,\n", dedup_ratio());
+    if (coverage_enabled) {
+        // Edges-discovered over scenarios: the guided campaign's trajectory,
+        // one sample per scheduler round.  Deterministic like the rest.
+        s += "  \"coverage\": {";
+        s += util::format("\"map_slots\": %llu, ",
+                          static_cast<unsigned long long>(coverage_map_slots));
+        s += util::format("\"edges_discovered\": %llu, ",
+                          static_cast<unsigned long long>(coverage_edges));
+        s += util::format(
+            "\"coverage_pct\": %.2f, ",
+            coverage_map_slots
+                ? 100.0 * static_cast<double>(coverage_edges) /
+                      static_cast<double>(coverage_map_slots)
+                : 0.0);
+        s += "\"series\": [";
+        for (std::size_t i = 0; i < coverage_series.size(); ++i) {
+            const CoveragePoint& p = coverage_series[i];
+            if (i) s += ", ";
+            s += util::format(
+                "{\"scenarios\": %llu, \"edges\": %llu, \"pct\": %.2f}",
+                static_cast<unsigned long long>(p.scenarios),
+                static_cast<unsigned long long>(p.edges),
+                coverage_map_slots
+                    ? 100.0 * static_cast<double>(p.edges) /
+                          static_cast<double>(coverage_map_slots)
+                    : 0.0);
+        }
+        s += "]},\n";
+    }
     s += "  \"divergences\": [";
     for (std::size_t i = 0; i < divergences.size(); ++i) {
         const auto& d = divergences[i];
@@ -531,6 +677,8 @@ std::string CampaignReport::to_json() const {
         s += "\"kind\": \"" + json_escape(d.kind) + "\", ";
         s += "\"detail\": \"" + json_escape(d.detail) + "\", ";
         s += "\"fingerprint\": \"" + json_escape(d.fingerprint) + "\", ";
+        s += util::format("\"discovered_at\": %llu, ",
+                          static_cast<unsigned long long>(d.discovered_at));
         s += util::format("\"first_diverging_packet\": %llu, ",
                           static_cast<unsigned long long>(d.first_diverging_packet));
         s += util::format("\"minimized_count\": %llu, ",

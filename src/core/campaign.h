@@ -15,6 +15,15 @@
 // only on the config, never on thread count or timing.  Wall-clock derived
 // rates live in CampaignStats, which the ndb_campaign CLI writes to
 // BENCH_campaign.json.
+//
+// Coverage-guided mode (config.coverage): instead of the uniform sweep,
+// scenarios are scheduled in deterministic rounds by a
+// coverage::CorpusScheduler -- programs whose recent scenarios lit fresh
+// coverage edges (reference-device CoverageMap) or produced fresh
+// divergence fingerprints earn more of the next round's budget.  Rounds
+// are planned from config + already-merged feedback only, and feedback is
+// merged in scenario order at a round barrier, so the report (coverage
+// series included) keeps the byte-identical-across-thread-counts contract.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +58,10 @@ struct CampaignConfig {
     std::string reference_backend = "reference";
     bool localize = true;  // replay divergences through FaultLocalizer
     bool minimize = true;  // reduce to the shortest reproducing prefix
+
+    // Coverage-guided adaptive seed scheduling (see file header).  Off by
+    // default: the uniform sweep remains the corpus-replay contract.
+    bool coverage = false;
 };
 
 struct DivergenceRecord {
@@ -68,6 +81,16 @@ struct DivergenceRecord {
     // backend|quirk-signature|first-diverging-stage: the dedup key.
     std::string fingerprint;
     std::uint64_t duplicates = 0;  // later findings folded into this record
+    // 1-based ordinal (in deterministic merge order) of the scenario that
+    // first produced this fingerprint: "how much budget until discovery".
+    std::uint64_t discovered_at = 0;
+};
+
+// One sample of the guided campaign's coverage trajectory, taken at every
+// scheduler round barrier.
+struct CoveragePoint {
+    std::uint64_t scenarios = 0;  // scenarios completed so far
+    std::uint64_t edges = 0;      // distinct coverage-map slots lit so far
 };
 
 struct CampaignReport {
@@ -78,6 +101,12 @@ struct CampaignReport {
     std::uint64_t packets_injected = 0;       // every inject() the engine issued
     std::uint64_t findings_total = 0;         // divergent scenarios before dedup
     std::vector<DivergenceRecord> divergences;  // deduplicated, discovery order
+
+    // Coverage-guided mode outputs (empty when coverage is off).
+    bool coverage_enabled = false;
+    std::uint64_t coverage_map_slots = 0;  // CoverageMap::kSlots
+    std::uint64_t coverage_edges = 0;      // final edges_covered()
+    std::vector<CoveragePoint> coverage_series;
 
     double dedup_ratio() const {
         return divergences.empty()

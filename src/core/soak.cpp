@@ -1,0 +1,101 @@
+#include "core/soak.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/strings.h"
+
+namespace ndb::core {
+
+namespace {
+
+// [a-z0-9_] survive; everything else becomes '-'.
+std::string sanitize(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                          c == '_';
+        out += keep ? c : '-';
+    }
+    return out;
+}
+
+// The stage is the suffix of the fingerprint (backend|quirks|stage).
+std::string fingerprint_stage(const DivergenceRecord& rec) {
+    const std::size_t bar = rec.fingerprint.rfind('|');
+    return bar == std::string::npos ? std::string("unlocalized")
+                                    : rec.fingerprint.substr(bar + 1);
+}
+
+// The uniqueness key an existing corpus file encodes.
+std::string entry_key(const std::string& backend, const std::string& quirks,
+                      const std::string& stage) {
+    return backend + "|" + quirks + "|" + stage;
+}
+
+std::set<std::string> known_fingerprints(const std::string& corpus_dir) {
+    std::set<std::string> known;
+    if (!std::filesystem::is_directory(corpus_dir)) return known;
+    for (const auto& file : std::filesystem::directory_iterator(corpus_dir)) {
+        if (file.path().extension() != ".corpus") continue;
+        std::ifstream in(file.path());
+        std::string line, backend, quirks, stage;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#') continue;
+            const std::size_t eq = line.find('=');
+            if (eq == std::string::npos) continue;
+            const std::string key = line.substr(0, eq);
+            const std::string value = line.substr(eq + 1);
+            if (key == "backend") backend = value;
+            else if (key == "quirks") quirks = value;
+            else if (key == "stage") stage = value;
+        }
+        if (!backend.empty()) known.insert(entry_key(backend, quirks, stage));
+    }
+    return known;
+}
+
+}  // namespace
+
+std::string soak_corpus_filename(const DivergenceRecord& rec) {
+    return util::format(
+        "soak_%s_%s_%016llx.corpus", sanitize(rec.backend).c_str(),
+        sanitize(fingerprint_stage(rec)).c_str(),
+        static_cast<unsigned long long>(util::fnv1a_64(rec.fingerprint)));
+}
+
+SoakResult append_unique_corpus_entries(const CampaignReport& report,
+                                        const std::string& corpus_dir) {
+    SoakResult result;
+    std::filesystem::create_directories(corpus_dir);
+    std::set<std::string> known = known_fingerprints(corpus_dir);
+
+    for (const auto& rec : report.divergences) {
+        const std::string stage = fingerprint_stage(rec);
+        const std::string key = entry_key(rec.backend, rec.quirk_signature, stage);
+        if (!known.insert(key).second) {
+            ++result.skipped_known;
+            continue;
+        }
+        const std::string name = soak_corpus_filename(rec);
+        const std::filesystem::path path =
+            std::filesystem::path(corpus_dir) / name;
+        std::ofstream out(path);
+        if (!out) continue;  // unwritable dir: skip rather than abort the soak
+        out << "# discovered by campaign soak mode; replayed by corpus_replay_test\n";
+        out << "# detail: " << rec.detail << "\n";
+        out << "seed=" << rec.seed << "\n";
+        out << "program=" << rec.program << "\n";
+        out << "backend=" << rec.backend << "\n";
+        out << "quirks=" << rec.quirk_signature << "\n";
+        out << "stage=" << stage << "\n";
+        result.written.push_back(name);
+    }
+    std::sort(result.written.begin(), result.written.end());
+    return result;
+}
+
+}  // namespace ndb::core

@@ -1,0 +1,37 @@
+// Soak mode: long-running campaigns that grow the regression corpus.
+//
+// A soak run is an ordinary (usually coverage-guided) campaign whose
+// divergence records are compared against the `.corpus` recipes already
+// committed under tests/corpus/; every finding with a *new unique*
+// fingerprint is appended as a fresh recipe file that corpus_replay_test
+// will replay forever after.  File names are a pure function of the
+// fingerprint, so re-running a soak never duplicates entries and two
+// machines discovering the same bug write the same file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace ndb::core {
+
+struct SoakResult {
+    std::vector<std::string> written;  // file names created this run
+    std::size_t skipped_known = 0;     // findings already in the corpus
+};
+
+// Deterministic corpus file name for a divergence record:
+//   soak_<backend>_<stage>_<fnv64(fingerprint) hex>.corpus
+std::string soak_corpus_filename(const DivergenceRecord& rec);
+
+// Appends every record of `report` whose (backend, quirk-signature, stage)
+// fingerprint is not yet represented in `corpus_dir` (existing `.corpus`
+// files are parsed for their backend/quirks/stage keys).  The record's
+// backend label must be a registry name for the written recipe to replay --
+// true for every sweep ndb_campaign builds.  Creates the directory when
+// missing.
+SoakResult append_unique_corpus_entries(const CampaignReport& report,
+                                        const std::string& corpus_dir);
+
+}  // namespace ndb::core

@@ -379,7 +379,24 @@ SpecGenerator::SpecGenerator(std::vector<std::string> programs)
 Scenario SpecGenerator::make(std::uint64_t seed) const {
     Rng rng(seed);
     const std::size_t which = rng.next_below(programs_.size());
+    return build(rng, which, seed);
+}
 
+Scenario SpecGenerator::make_for(std::size_t program_index,
+                                 std::uint64_t seed) const {
+    if (program_index >= programs_.size()) {
+        throw std::invalid_argument("specgen: program index out of range");
+    }
+    Rng rng(seed);
+    // One draw replaces the program pick; next_below(1) in a single-program
+    // generator also consumes exactly one, so the streams line up and the
+    // (program, seed) pair replays identically through make().
+    rng.next_u64();
+    return build(rng, program_index, seed);
+}
+
+Scenario SpecGenerator::build(Rng& rng, std::size_t which,
+                              std::uint64_t seed) const {
     Scenario s;
     s.seed = seed;
     s.program = programs_[which];

@@ -18,6 +18,7 @@
 #include "core/testspec.h"
 #include "p4/ir.h"
 #include "util/bitvec.h"
+#include "util/random.h"
 
 namespace ndb::core {
 
@@ -64,7 +65,17 @@ public:
     // concurrently from every campaign worker.
     Scenario make(std::uint64_t seed) const;
 
+    // Like make(), but the program is chosen by the caller instead of by
+    // the seed -- the coverage-guided scheduler's entry point.  Consumes
+    // exactly one RNG draw in place of the program pick, so
+    // make_for(i, seed) on any generator equals make(seed) on a generator
+    // restricted to that single program: a guided finding's (program, seed)
+    // pair replays through the ordinary corpus path.
+    Scenario make_for(std::size_t program_index, std::uint64_t seed) const;
+
 private:
+    Scenario build(util::Rng& rng, std::size_t which, std::uint64_t seed) const;
+
     std::vector<std::string> programs_;
     // Parallel to programs_; compiled once so the per-scenario hot path
     // never re-runs the P4 frontend.

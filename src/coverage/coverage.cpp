@@ -1,0 +1,29 @@
+#include "coverage/coverage.h"
+
+namespace ndb::coverage {
+
+std::size_t CoverageMap::edges_covered() const {
+    std::size_t n = 0;
+    for (const std::uint32_t c : counts_) {
+        if (c != 0) ++n;
+    }
+    return n;
+}
+
+std::uint64_t CoverageMap::total_hits() const {
+    std::uint64_t n = 0;
+    for (const std::uint32_t c : counts_) n += c;
+    return n;
+}
+
+std::size_t CoverageMap::merge_new_from(const CoverageMap& fresh) {
+    std::size_t new_slots = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        if (fresh.counts_[i] == 0) continue;
+        if (counts_[i] == 0) ++new_slots;
+        counts_[i] += fresh.counts_[i];
+    }
+    return new_slots;
+}
+
+}  // namespace ndb::coverage

@@ -1,0 +1,78 @@
+#include "coverage/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndb::coverage {
+
+namespace {
+// Caps one round's gain so a single explosive scenario cannot permanently
+// monopolize the budget; renormalization keeps the weights in a stable
+// floating-point range forever.
+constexpr double kGainCap = 8.0;
+}  // namespace
+
+CorpusScheduler::CorpusScheduler(std::size_t arms, double eta, double explore)
+    : weights_(std::max<std::size_t>(arms, 1), 1.0),
+      eta_(std::clamp(eta, 0.0, 4.0)),
+      explore_(std::clamp(explore, 0.0, 1.0)) {}
+
+void CorpusScheduler::reward(std::size_t arm, double gain) {
+    if (arm >= weights_.size()) return;
+    if (!(gain > 0.0)) return;  // zero/negative/NaN gain leaves weights alone
+    weights_[arm] *= 1.0 + eta_ * std::min(gain, kGainCap);
+    // Renormalize to sum == arms: shares are scale-invariant, so this only
+    // prevents unbounded growth across thousands of rounds.
+    double sum = 0.0;
+    for (const double w : weights_) sum += w;
+    const double scale = static_cast<double>(weights_.size()) / sum;
+    for (double& w : weights_) w *= scale;
+}
+
+double CorpusScheduler::share(std::size_t arm) const {
+    if (arm >= weights_.size()) return 0.0;
+    double sum = 0.0;
+    for (const double w : weights_) sum += w;
+    const double n = static_cast<double>(weights_.size());
+    return (1.0 - explore_) * weights_[arm] / sum + explore_ / n;
+}
+
+std::vector<std::uint64_t> CorpusScheduler::plan_round(
+    std::uint64_t budget) const {
+    const std::size_t n = weights_.size();
+    std::vector<std::uint64_t> plan(n, 0);
+    if (budget == 0) return plan;
+
+    std::uint64_t remaining = budget;
+    if (budget >= n) {
+        // Exploration guarantee: every program probes at least once per round.
+        for (auto& p : plan) p = 1;
+        remaining -= n;
+    }
+
+    // Largest-remainder apportionment of the rest.
+    std::vector<double> quota(n, 0.0);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        quota[i] = static_cast<double>(remaining) * share(i);
+        const auto base = static_cast<std::uint64_t>(quota[i]);
+        plan[i] += base;
+        assigned += base;
+    }
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         const double fa = quota[a] - std::floor(quota[a]);
+                         const double fb = quota[b] - std::floor(quota[b]);
+                         if (fa != fb) return fa > fb;
+                         return a < b;
+                     });
+    for (std::size_t k = 0; assigned < remaining; ++k) {
+        ++plan[order[k % n]];
+        ++assigned;
+    }
+    return plan;
+}
+
+}  // namespace ndb::coverage

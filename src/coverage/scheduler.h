@@ -1,0 +1,54 @@
+// Adaptive seed scheduling over the campaign's program catalogue.
+//
+// The uniform sweep spends the same scenario budget on every program; the
+// CorpusScheduler spends more on programs that keep producing feedback --
+// fresh coverage edges and fresh divergence fingerprints -- which is the
+// multiplicative-weights half of greybox "energy" assignment (AFLFast /
+// FP4 style), with an exploration floor so no program is ever starved.
+//
+// Everything here is deterministic: weights are plain doubles updated by a
+// fixed rule, rounds are apportioned by largest remainder with index
+// tie-break, and no randomness or wall clock is consulted.  Given the same
+// reward sequence the scheduler produces the same plan, which is what lets
+// a guided campaign keep the byte-identical-report-across-thread-counts
+// contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ndb::coverage {
+
+class CorpusScheduler {
+public:
+    // `arms` = number of programs.  `eta` scales the multiplicative update;
+    // `explore` is the share of every round reserved for uniform
+    // exploration (0 = pure exploitation, 1 = uniform sweep).
+    explicit CorpusScheduler(std::size_t arms, double eta = 0.5,
+                             double explore = 0.25);
+
+    std::size_t arms() const { return weights_.size(); }
+
+    // Rewards `arm` with a non-negative gain (e.g. new-edges-per-scenario
+    // plus a fresh-fingerprint bonus).  Monotone: a larger gain never
+    // yields a smaller weight, and therefore never less future energy.
+    void reward(std::size_t arm, double gain);
+
+    // Normalized share of the next round's energy for `arm`, exploration
+    // floor included: share >= explore / arms for every arm.
+    double share(std::size_t arm) const;
+
+    // Splits `budget` scenarios across the arms proportionally to share(),
+    // by largest remainder (ties broken by lowest arm index).  When the
+    // budget covers all arms, every arm receives at least one scenario so
+    // dormant programs keep probing for fresh behaviour.
+    std::vector<std::uint64_t> plan_round(std::uint64_t budget) const;
+
+private:
+    std::vector<double> weights_;
+    double eta_;
+    double explore_;
+};
+
+}  // namespace ndb::coverage

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "coverage/coverage.h"
 #include "packet/checksum.h"
 
 namespace ndb::dataplane {
@@ -115,7 +116,34 @@ void reset_locals(Frame& frame, const std::vector<int>& widths) {
     }
 }
 
+// Pre-order walk assigning every if_stmt a stable ordinal.
+void collect_branches(
+    const std::vector<p4::ir::StmtPtr>& body,
+    std::unordered_map<const p4::ir::Stmt*, std::uint32_t>& ids) {
+    for (const auto& s : body) {
+        if (s->kind != p4::ir::Stmt::Kind::if_stmt) continue;
+        const auto ordinal = static_cast<std::uint32_t>(ids.size());
+        ids.emplace(s.get(), ordinal);
+        collect_branches(s->then_body, ids);
+        collect_branches(s->else_body, ids);
+    }
+}
+
 }  // namespace
+
+void Interpreter::set_coverage(coverage::CoverageMap* map) {
+    coverage_ = map;
+    if (!map) return;
+    cov_salt_ = coverage::program_salt(prog_.name);
+    if (!branch_ids_.empty()) return;
+    // Fixed walk order (ingress, egress, actions by id) keeps the ordinals
+    // a pure function of the program.
+    collect_branches(prog_.ingress.body, branch_ids_);
+    if (prog_.egress) collect_branches(prog_.egress->body, branch_ids_);
+    for (const auto& action : prog_.actions) {
+        collect_branches(action.body, branch_ids_);
+    }
+}
 
 Frame& Interpreter::push_frame() {
     if (depth_ >= frames_.size()) frames_.emplace_back();
@@ -141,6 +169,10 @@ void Interpreter::run_control(const p4::ir::Control& control, PacketState& state
 void Interpreter::run_action(int action_id, std::span<const Bitvec> args,
                              PacketState& state) {
     const auto& action = prog_.actions.at(static_cast<std::size_t>(action_id));
+    if (coverage_) {
+        coverage_->record(coverage::Site::action,
+                          cov_salt_ ^ static_cast<std::uint64_t>(action_id));
+    }
     Frame& frame = push_frame();
     const FrameScope scope{*this};
     frame.params.assign(args.begin(), args.end());
@@ -180,7 +212,15 @@ void Interpreter::exec(const Stmt& s, PacketState& state, Frame& frame) {
         }
         case Stmt::Kind::if_stmt: {
             const Bitvec c = eval_expr(prog_, *s.cond, state, frame, quirks_);
-            exec_body(c.is_zero() ? s.else_body : s.then_body, state, frame);
+            const bool taken = !c.is_zero();
+            if (coverage_) {
+                const auto it = branch_ids_.find(&s);
+                if (it != branch_ids_.end()) {
+                    coverage_->record(coverage::Site::branch,
+                                      cov_salt_ ^ it->second, taken ? 1 : 0);
+                }
+            }
+            exec_body(taken ? s.then_body : s.else_body, state, frame);
             return;
         }
         case Stmt::Kind::apply_table: {
@@ -195,6 +235,11 @@ void Interpreter::exec(const Stmt& s, PacketState& state, Frame& frame) {
             }
             bool hit = false;
             const ActionEntry& entry = tables_.lookup(s.table, keys_scratch_, hit);
+            if (coverage_) {
+                coverage_->record(coverage::Site::table,
+                                  cov_salt_ ^ static_cast<std::uint64_t>(s.table),
+                                  hit ? 1 : 0);
+            }
             applies_.push_back({s.table, hit, entry.action_id});
             run_action(entry.action_id, entry.args, state);
             return;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "dataplane/quirks.h"
@@ -11,6 +12,10 @@
 #include "dataplane/stateful.h"
 #include "dataplane/tables.h"
 #include "p4/ir.h"
+
+namespace ndb::coverage {
+class CoverageMap;
+}  // namespace ndb::coverage
 
 namespace ndb::dataplane {
 
@@ -53,6 +58,13 @@ public:
     const std::vector<TableApply>& applies() const { return applies_; }
     void clear_applies() { applies_.clear(); }
 
+    // Coverage instrumentation: when a map is set, table hits/misses,
+    // action invocations and branch edges are recorded into it.  The static
+    // branch ordinals are assigned on the first call (a deterministic
+    // pre-order walk of the controls and actions), so enabling coverage
+    // allocates once here and never on the per-packet path.
+    void set_coverage(coverage::CoverageMap* map);
+
 private:
     void exec_body(const std::vector<p4::ir::StmtPtr>& body, PacketState& state,
                    Frame& frame);
@@ -77,6 +89,12 @@ private:
     std::vector<Bitvec> keys_scratch_;
     std::vector<Bitvec> args_scratch_;
     std::vector<std::uint8_t> bytes_scratch_;
+
+    coverage::CoverageMap* coverage_ = nullptr;
+    std::uint64_t cov_salt_ = 0;  // program_salt(prog_.name), set with the map
+    // if_stmt -> stable ordinal; built once per program when coverage is
+    // first enabled (identical walk order => identical ordinals everywhere).
+    std::unordered_map<const p4::ir::Stmt*, std::uint32_t> branch_ids_;
 };
 
 }  // namespace ndb::dataplane

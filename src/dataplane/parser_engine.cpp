@@ -1,11 +1,17 @@
 #include "dataplane/parser_engine.h"
 
+#include "coverage/coverage.h"
 #include "dataplane/interp.h"
 
 namespace ndb::dataplane {
 
 using p4::ir::kAccept;
 using p4::ir::kReject;
+
+void ParserEngine::set_coverage(coverage::CoverageMap* map) {
+    coverage_ = map;
+    if (map) cov_salt_ = coverage::program_salt(prog_.name);
+}
 
 ParserVerdict ParserEngine::run(const packet::Packet& pkt, PacketState& state,
                                 int* states_visited) const {
@@ -14,8 +20,16 @@ ParserVerdict ParserEngine::run(const packet::Packet& pkt, PacketState& state,
     int visited = 0;
     int extracts = 0;
     Frame empty_frame;
+    int current = prog_.start_state;
 
     const auto finish = [&](ParserVerdict verdict) {
+        if (coverage_) {
+            // Terminal site: the state the machine stopped in plus the
+            // verdict, so depth-limited/truncated exits are distinct edges.
+            coverage_->record(coverage::Site::parser_finish,
+                              cov_salt_ ^ static_cast<std::uint64_t>(current),
+                              static_cast<std::uint64_t>(verdict));
+        }
         if (states_visited) *states_visited = visited;
         // Unparsed remainder becomes the payload (from the next whole byte).
         const std::size_t byte_cursor = (cursor + 7) / 8;
@@ -34,7 +48,6 @@ ParserVerdict ParserEngine::run(const packet::Packet& pkt, PacketState& state,
         return verdict;
     };
 
-    int current = prog_.start_state;
     for (;;) {
         if (current == kAccept) return finish(ParserVerdict::accept);
         if (current == kReject) return finish(ParserVerdict::reject);
@@ -87,6 +100,11 @@ ParserVerdict ParserEngine::run(const packet::Packet& pkt, PacketState& state,
 
         const auto& t = st.transition;
         if (t.kind == p4::ir::Transition::Kind::direct) {
+            if (coverage_) {
+                coverage_->record(coverage::Site::parser_edge,
+                                  cov_salt_ ^ static_cast<std::uint64_t>(current),
+                                  static_cast<std::uint64_t>(t.next_state));
+            }
             current = t.next_state;
             continue;
         }
@@ -108,6 +126,11 @@ ParserVerdict ParserEngine::run(const packet::Packet& pkt, PacketState& state,
                 next = c.next_state;
                 break;
             }
+        }
+        if (coverage_) {
+            coverage_->record(coverage::Site::parser_edge,
+                              cov_salt_ ^ static_cast<std::uint64_t>(current),
+                              static_cast<std::uint64_t>(next));
         }
         current = next;
     }

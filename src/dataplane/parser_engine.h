@@ -6,12 +6,22 @@
 #include "p4/ir.h"
 #include "packet/packet.h"
 
+namespace ndb::coverage {
+class CoverageMap;
+}  // namespace ndb::coverage
+
 namespace ndb::dataplane {
 
 class ParserEngine {
 public:
     explicit ParserEngine(const p4::ir::Program& prog, Quirks quirks = {})
         : prog_(prog), quirks_(quirks) {}
+
+    // Coverage instrumentation: when set, every state transition (and the
+    // terminal state/verdict pair) records an edge into the map, salted by
+    // the program name.  nullptr (the default) reduces the instrumentation
+    // to one untaken branch per transition.
+    void set_coverage(coverage::CoverageMap* map);
 
     // Fills `state` (headers, payload, verdict) from the packet bytes.
     // With the `reject_as_accept` quirk, explicit rejects and parse errors
@@ -26,6 +36,8 @@ public:
 private:
     const p4::ir::Program& prog_;
     Quirks quirks_;
+    coverage::CoverageMap* coverage_ = nullptr;
+    std::uint64_t cov_salt_ = 0;  // program_salt(prog_.name), set with the map
 };
 
 }  // namespace ndb::dataplane

@@ -1,5 +1,6 @@
 #include "dataplane/pipeline.h"
 
+#include "coverage/coverage.h"
 #include "dataplane/deparser.h"
 
 namespace ndb::dataplane {
@@ -32,6 +33,12 @@ Pipeline::Pipeline(const p4::ir::Program& prog, TableSet& tables,
       options_(options),
       parser_(prog, options.quirks),
       interp_(prog, tables, stateful, options.quirks) {}
+
+void Pipeline::set_coverage(coverage::CoverageMap* map) {
+    coverage_ = map;
+    parser_.set_coverage(map);
+    interp_.set_coverage(map);
+}
 
 PipelineResult Pipeline::process(const packet::Packet& in) {
     PipelineResult result;

@@ -21,6 +21,10 @@
 #include "p4/ir.h"
 #include "packet/packet.h"
 
+namespace ndb::coverage {
+class CoverageMap;
+}  // namespace ndb::coverage
+
 namespace ndb::dataplane {
 
 enum class Disposition {
@@ -110,6 +114,13 @@ public:
     void set_capture_taps(bool on) { options_.capture_taps = on; }
     void set_capture_digests(bool on) { options_.capture_digests = on; }
 
+    // Coverage mode: routes parser-edge/table/action/branch events from the
+    // execution engines into `map`.  Off (nullptr) by default; when off the
+    // only cost is a null check per instrumentation site, and when on no
+    // per-packet allocation is ever made (the map is a fixed array).
+    void set_coverage(coverage::CoverageMap* map);
+    coverage::CoverageMap* coverage() const { return coverage_; }
+
 private:
     const p4::ir::Program& prog_;
     TableSet& tables_;
@@ -118,6 +129,7 @@ private:
     ParserEngine parser_;
     Interpreter interp_;
     StageCounters counters_;
+    coverage::CoverageMap* coverage_ = nullptr;
     // Per-packet execution state, reset in place each process() call so the
     // steady-state hot path performs no per-packet allocation.
     PacketState state_;

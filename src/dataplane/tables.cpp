@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <optional>
 #include <stdexcept>
 
@@ -130,15 +131,27 @@ struct PackedKeyHash {
 // couple of contiguous slot probes and zero pointer chasing -- the node
 // allocations and bucket indirection of std::unordered_map are what kept
 // the previous exact engine an order of magnitude below line rate.
+//
+// Two slot-diet refinements close the one-word-key gap against the inline
+// Bitvec naive engine (ROADMAP item):
+//   * the key hash is cached in each slot, so probe-chain walks compare one
+//     word before ever touching the key image, and grow() rehashes without
+//     recomputing a single hash;
+//   * ActionEntry values live in a side pool addressed by a 32-bit index
+//     ("indirect ActionEntry"), keeping the probed slot array dense --
+//     a slot is state + hash + index + key image, no vector payloads.
 class FlatKeyMap {
 public:
     const ActionEntry* find(const PackedKey& k) const {
         if (slots_.empty()) return nullptr;
-        std::size_t i = k.hash() & mask_;
+        const std::size_t h = k.hash();
+        std::size_t i = h & mask_;
         for (;;) {
             const Slot& s = slots_[i];
             if (s.state == kEmpty) return nullptr;
-            if (s.state == kFull && s.key == k) return &s.value;
+            if (s.state == kFull && s.hash == h && s.key == k) {
+                return &values_[s.value];
+            }
             i = (i + 1) & mask_;
         }
     }
@@ -148,22 +161,31 @@ public:
     // Precondition: !contains(k).
     void insert(PackedKey k, ActionEntry v) {
         if ((used_ + 1) * 10 >= slots_.size() * 7) grow();
-        std::size_t i = k.hash() & mask_;
-        while (slots_[i].state == kFull) i = (i + 1) & mask_;
-        if (slots_[i].state == kEmpty) ++used_;  // tombstones are re-used
-        slots_[i] = Slot{kFull, std::move(k), std::move(v)};
+        const std::size_t h = k.hash();
+        std::uint32_t index;
+        if (!free_.empty()) {
+            index = free_.back();
+            free_.pop_back();
+            values_[index] = std::move(v);
+        } else {
+            index = static_cast<std::uint32_t>(values_.size());
+            values_.push_back(std::move(v));
+        }
+        place(std::move(k), h, index);
         ++size_;
     }
 
     bool erase(const PackedKey& k) {
         if (slots_.empty()) return false;
-        std::size_t i = k.hash() & mask_;
+        const std::size_t h = k.hash();
+        std::size_t i = h & mask_;
         for (;;) {
             Slot& s = slots_[i];
             if (s.state == kEmpty) return false;
-            if (s.state == kFull && s.key == k) {
+            if (s.state == kFull && s.hash == h && s.key == k) {
                 s.state = kTombstone;
-                s.value = ActionEntry{};
+                values_[s.value] = ActionEntry{};
+                free_.push_back(s.value);
                 --size_;
                 return true;
             }
@@ -176,6 +198,8 @@ public:
 
     void clear() {
         slots_.clear();
+        values_.clear();
+        free_.clear();
         mask_ = 0;
         size_ = 0;
         used_ = 0;
@@ -185,23 +209,37 @@ private:
     enum State : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
     struct Slot {
         State state = kEmpty;
+        std::uint32_t value = 0;  // index into values_
+        std::size_t hash = 0;     // cached key hash
         PackedKey key;
-        ActionEntry value;
     };
+
+    void place(PackedKey k, std::size_t h, std::uint32_t index) {
+        std::size_t i = h & mask_;
+        while (slots_[i].state == kFull) i = (i + 1) & mask_;
+        Slot& s = slots_[i];
+        if (s.state == kEmpty) ++used_;  // tombstones are re-used
+        s.state = kFull;
+        s.hash = h;
+        s.value = index;
+        s.key = std::move(k);
+    }
 
     void grow() {
         const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
         std::vector<Slot> old = std::move(slots_);
         slots_.assign(cap, Slot{});
         mask_ = cap - 1;
-        size_ = 0;
         used_ = 0;
+        // Re-place using the cached hashes; the value pool is untouched.
         for (auto& s : old) {
-            if (s.state == kFull) insert(std::move(s.key), std::move(s.value));
+            if (s.state == kFull) place(std::move(s.key), s.hash, s.value);
         }
     }
 
     std::vector<Slot> slots_;
+    std::vector<ActionEntry> values_;   // indirect payloads, index-stable
+    std::vector<std::uint32_t> free_;   // recycled value-pool indices
     std::size_t mask_ = 0;
     std::size_t size_ = 0;
     std::size_t used_ = 0;  // full + tombstoned slots (probe-chain length bound)
@@ -249,11 +287,28 @@ private:
 // One hash table per installed prefix length, probed longest length first:
 // the classic software-LPM layout.  Every map key is the lookup key with
 // its low (width - length) bits cleared.
+//
+// Bitmap-guided probe order (the ROADMAP's many-distinct-lengths fix):
+//
+//   * active lengths live in a bitmap (bit L set <=> length L holds
+//     entries) walked top word down with one count-leading-zeros per
+//     candidate, replacing the sorted-vector scan;
+//   * each active length additionally keeps a 256-bit *guard* filter over
+//     the top min(8, L) bits of its installed prefixes.  A lookup computes
+//     its own top bits once and tests one guard bit before committing to a
+//     hash probe, so the dominant cost of the ~25-active-lengths shape --
+//     a full hash-and-miss per length -- collapses to a shift-and-AND for
+//     every length that cannot possibly match.  Guards are conservative
+//     (erase leaves bits set until a length empties), which only costs a
+//     wasted probe, never a wrong result.
 class IndexedLpmEngine final : public MatchEngine {
 public:
     IndexedLpmEngine(int key_width, std::size_t capacity)
         : key_width_(key_width), capacity_(capacity),
-          by_len_(static_cast<std::size_t>(key_width) + 1) {}
+          guard_bits_(std::min(key_width, 8)),
+          by_len_(static_cast<std::size_t>(key_width) + 1),
+          active_bits_((static_cast<std::size_t>(key_width) + 64) / 64, 0),
+          guards_(static_cast<std::size_t>(key_width) + 1) {}
 
     InsertStatus insert(const TableEntry& entry) override {
         if (entry.key_values.size() != 1 || entry.prefix_len < 0 ||
@@ -264,7 +319,8 @@ public:
         PackedKey key = masked_key(entry.key_values[0], entry.prefix_len);
         auto& map = by_len_[static_cast<std::size_t>(entry.prefix_len)];
         if (map.contains(key)) return InsertStatus::duplicate;
-        if (map.empty()) add_active(entry.prefix_len);
+        if (map.empty()) set_active(entry.prefix_len, true);
+        set_guard(entry.prefix_len, guard_index(top_bits(key), entry.prefix_len));
         map.insert(std::move(key), ActionEntry{entry.action_id, entry.action_args});
         ++count_;
         return InsertStatus::ok;
@@ -281,8 +337,8 @@ public:
         }
         --count_;
         if (map.empty()) {
-            active_lens_.erase(std::find(active_lens_.begin(), active_lens_.end(),
-                                         entry.prefix_len));
+            set_active(entry.prefix_len, false);
+            guards_[static_cast<std::size_t>(entry.prefix_len)] = {};
         }
         return true;
     }
@@ -291,17 +347,29 @@ public:
         if (keys.size() != 1) return nullptr;
         PackedKey key;
         key.pack(keys.subspan(0, 1), key_width_);
+        // Masking clears low bits only, so the key's top guard_bits_ are
+        // invariant across every candidate length: compute them once.
+        const std::uint32_t top = top_bits(key);
         int masked_to = key_width_;  // bits still intact (from the top)
-        for (const int len : active_lens_) {
-            // Lengths are visited descending, so masking is monotone: clear
-            // a few more low bits each step instead of re-packing.
-            if (len < masked_to) {
-                key.clear_low_bits(key_width_ - len);
-                masked_to = len;
-            }
-            if (const ActionEntry* found =
-                    by_len_[static_cast<std::size_t>(len)].find(key)) {
-                return found;
+        // Bitmap-guided probe order: walk set bits from the highest word
+        // down, longest prefix first.
+        for (std::size_t w = active_bits_.size(); w-- > 0;) {
+            std::uint64_t bits = active_bits_[w];
+            while (bits != 0) {
+                const int hi = 63 - std::countl_zero(bits);
+                bits &= ~(1ull << hi);
+                const int len = static_cast<int>(w) * 64 + hi;
+                if (!test_guard(len, guard_index(top, len))) continue;
+                // Lengths are visited descending, so masking is monotone:
+                // clear a few more low bits each step instead of re-packing.
+                if (len < masked_to) {
+                    key.clear_low_bits(key_width_ - len);
+                    masked_to = len;
+                }
+                if (const ActionEntry* found =
+                        by_len_[static_cast<std::size_t>(len)].find(key)) {
+                    return found;
+                }
             }
         }
         return nullptr;
@@ -311,7 +379,8 @@ public:
 
     void clear() override {
         for (auto& map : by_len_) map.clear();
-        active_lens_.clear();
+        std::fill(active_bits_.begin(), active_bits_.end(), 0);
+        std::fill(guards_.begin(), guards_.end(), Guard{});
         count_ = 0;
     }
 
@@ -323,17 +392,52 @@ private:
         return key;
     }
 
-    void add_active(int len) {
-        // Keep descending order so lookups probe longest prefixes first.
-        const auto pos = std::lower_bound(active_lens_.begin(), active_lens_.end(),
-                                          len, std::greater<int>());
-        active_lens_.insert(pos, len);
+    void set_active(int len, bool on) {
+        auto& word = active_bits_[static_cast<std::size_t>(len) / 64];
+        const std::uint64_t bit = 1ull << (static_cast<std::size_t>(len) % 64);
+        word = on ? (word | bit) : (word & ~bit);
     }
+
+    // Top min(8, key_width) bits of a packed key image.
+    std::uint32_t top_bits(const PackedKey& key) const {
+        const auto words = key.words();
+        if (guard_bits_ == 0) return 0;
+        const int lo = key_width_ - guard_bits_;  // lowest extracted bit
+        const std::size_t word = static_cast<std::size_t>(lo) / 64;
+        const int off = lo % 64;
+        std::uint64_t v = words[word] >> off;
+        if (off > 64 - guard_bits_ && word + 1 < words.size()) {
+            v |= words[word + 1] << (64 - off);
+        }
+        return static_cast<std::uint32_t>(v & ((1u << guard_bits_) - 1));
+    }
+
+    // Guard bit index for prefix length `len`: the top min(len, guard_bits_)
+    // bits.  Shorter prefixes collapse onto coarser buckets, so a stored
+    // /L prefix and a lookup key agreeing on those bits share the index.
+    std::uint32_t guard_index(std::uint32_t top, int len) const {
+        const int significant = std::min(len, guard_bits_);
+        return top >> (guard_bits_ - significant);
+    }
+
+    void set_guard(int len, std::uint32_t index) {
+        guards_[static_cast<std::size_t>(len)][index / 64] |=
+            1ull << (index % 64);
+    }
+    bool test_guard(int len, std::uint32_t index) const {
+        return (guards_[static_cast<std::size_t>(len)][index / 64] >>
+                (index % 64)) &
+               1;
+    }
+
+    using Guard = std::array<std::uint64_t, 4>;  // 256 bits: all top-8 values
 
     int key_width_;
     std::size_t capacity_;
+    int guard_bits_;  // min(8, key_width): bits each guard filter keys on
     std::vector<FlatKeyMap> by_len_;
-    std::vector<int> active_lens_;  // non-empty lengths, descending
+    std::vector<std::uint64_t> active_bits_;  // bit L <=> length L non-empty
+    std::vector<Guard> guards_;               // per-length presence filters
     std::size_t count_ = 0;
 };
 

@@ -34,6 +34,10 @@
 #include "p4/ir.h"
 #include "packet/packet.h"
 
+namespace ndb::coverage {
+class CoverageMap;
+}  // namespace ndb::coverage
+
 namespace ndb::target {
 
 // Static device parameters, fixed for the lifetime of one device instance.
@@ -130,6 +134,15 @@ public:
         clear_digest_records();
         return out;
     }
+
+    // Coverage mode: execution-edge events (parser transitions, table
+    // hits/misses, action ids, branch edges) stream into `map` while
+    // packets flow; nullptr turns instrumentation off.  The setting
+    // survives load() on backends that support it.  The default is a no-op
+    // so external backends without instrumentation keep compiling; the
+    // campaign scheduler treats their (never-written) maps as zero delta.
+    virtual void set_coverage(coverage::CoverageMap* /*map*/) {}
+    virtual coverage::CoverageMap* coverage() const { return nullptr; }
 
     // Deterministic virtual device clock.
     virtual std::uint64_t now_ns() const = 0;

@@ -48,8 +48,16 @@ Status SimDevice::load(const p4::ir::Program& prog) {
     options.capture_digests = digests_enabled_;
     pipeline_ = std::make_unique<dataplane::Pipeline>(*prog_, *tables_, *stateful_,
                                                       std::move(options));
+    // load() replaces the pipeline wholesale, so coverage mode must be
+    // re-applied here for the setting to survive an image swap.
+    pipeline_->set_coverage(coverage_);
     clear_dynamic_state();
     return Status::success();
+}
+
+void SimDevice::set_coverage(coverage::CoverageMap* map) {
+    coverage_ = map;
+    if (pipeline_) pipeline_->set_coverage(map);
 }
 
 void SimDevice::clear_dynamic_state() {

@@ -49,6 +49,8 @@ public:
         out.swap(digests_);
         return out;
     }
+    void set_coverage(coverage::CoverageMap* map) override;
+    coverage::CoverageMap* coverage() const override { return coverage_; }
     std::uint64_t now_ns() const override { return clock_ns_; }
 
     // control::RuntimeApi.
@@ -111,6 +113,7 @@ private:
     std::vector<TapRecord> taps_;
     bool digests_enabled_ = false;
     std::vector<dataplane::TapDigest> digests_;
+    coverage::CoverageMap* coverage_ = nullptr;  // not owned
 
     std::uint64_t clock_ns_ = 0;
 };

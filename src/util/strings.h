@@ -1,11 +1,24 @@
 // Small string helpers used across the project.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace ndb::util {
+
+// FNV-1a over the bytes of `text`: the project's stable string fingerprint
+// (coverage program salts, soak corpus file names).  Do not change the
+// constants -- committed corpus names depend on them.
+inline std::uint64_t fnv1a_64(std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
 std::vector<std::string> split(std::string_view text, char sep);
 std::string_view trim(std::string_view text);

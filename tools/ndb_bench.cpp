@@ -8,7 +8,10 @@
 //
 //   * pipeline  -- packets/sec through the reference device for every
 //                  fuzzable catalogue program (config applied once, the
-//                  scenario's packet stream replayed in batches);
+//                  scenario's packet stream replayed in batches), plus a
+//                  second coverage-instrumented pass and the derived
+//                  coverage-overhead row (the cost of the CoverageMap
+//                  hooks when enabled);
 //   * tables    -- lookups/sec per match-engine kind on populated engines
 //                  (1k-entry exact, 1k-prefix LPM, 256-row ternary);
 //   * campaign  -- scenarios/sec and packets/sec of a bounded differential
@@ -17,6 +20,8 @@
 // --baseline FILE compares the run against committed reference numbers and
 // exits non-zero when pipeline packets/sec regresses by more than 30%, so
 // CI catches hot-path regressions without flaking on machine variance.
+// --coverage-gate PCT additionally fails the run when the enabled-coverage
+// pass costs more than PCT percent of aggregate pipeline throughput.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +34,7 @@
 #include "core/campaign.h"
 #include "core/generator.h"
 #include "core/specgen.h"
+#include "coverage/coverage.h"
 #include "dataplane/tables.h"
 #include "target/device.h"
 #include "util/strings.h"
@@ -53,7 +59,10 @@ struct ProgramBench {
 
 // Replays one catalogue scenario's packet stream through a reference device
 // until ~`target_packets` injections have happened; returns packets/sec.
-ProgramBench bench_program(const std::string& name, std::uint64_t target_packets) {
+// When `coverage` is non-null the device streams execution edges into it
+// (the instrumented pass the coverage-overhead row is derived from).
+ProgramBench bench_program(const std::string& name, std::uint64_t target_packets,
+                           ndb::coverage::CoverageMap* coverage = nullptr) {
     ndb::core::SpecGenerator gen({name});
     const ndb::core::Scenario sc = gen.make(/*seed=*/42);
 
@@ -62,6 +71,7 @@ ProgramBench bench_program(const std::string& name, std::uint64_t target_packets
         std::fprintf(stderr, "bench: cannot set up program '%s'\n", name.c_str());
         std::exit(1);
     }
+    dev->set_coverage(coverage);
     for (const auto& op : sc.config) ndb::core::apply_config_op(*dev, op);
 
     ndb::core::TestPacketGenerator pgen(sc.spec);
@@ -234,6 +244,7 @@ int main(int argc, char** argv) {
     int threads = 2;
     std::string out_path = "BENCH_pipeline.json";
     std::string baseline_path;
+    double coverage_gate_pct = -1.0;  // <0 = report only, no gate
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -256,25 +267,48 @@ int main(int argc, char** argv) {
             out_path = value();
         } else if (arg == "--baseline") {
             baseline_path = value();
+        } else if (arg == "--coverage-gate") {
+            coverage_gate_pct = std::strtod(value(), nullptr);
         } else {
             return usage(argv[0]);
         }
     }
 
     // --- pipeline ------------------------------------------------------------
+    // Each program runs twice back to back: a plain pass and a pass with
+    // coverage instrumentation streaming into one shared map.  The
+    // interleaving matters for the overhead gate below -- a transient
+    // slowdown on a noisy CI runner lands on both sums instead of
+    // masquerading as instrumentation cost.
+    ndb::coverage::CoverageMap coverage_map;
     std::vector<ProgramBench> programs;
     std::uint64_t total_packets = 0;
     double total_seconds = 0;
+    std::uint64_t cov_packets = 0;
+    double cov_seconds = 0;
     for (const auto& name : ndb::core::SpecGenerator::default_programs()) {
         ProgramBench b = bench_program(name, packets);
         std::printf("pipeline  %-16s %9.0f pkts/sec\n", b.name.c_str(), b.pps);
         total_packets += b.packets;
         total_seconds += b.seconds;
         programs.push_back(std::move(b));
+
+        const ProgramBench cov = bench_program(name, packets, &coverage_map);
+        cov_packets += cov.packets;
+        cov_seconds += cov.seconds;
     }
     const double pipeline_pps =
         total_seconds > 0 ? static_cast<double>(total_packets) / total_seconds : 0;
     std::printf("pipeline  %-16s %9.0f pkts/sec\n", "(aggregate)", pipeline_pps);
+
+    const double coverage_pps =
+        cov_seconds > 0 ? static_cast<double>(cov_packets) / cov_seconds : 0;
+    const double coverage_overhead_pct =
+        pipeline_pps > 0 ? 100.0 * (1.0 - coverage_pps / pipeline_pps) : 0;
+    std::printf("pipeline  %-16s %9.0f pkts/sec (coverage on: %.1f%% overhead, "
+                "%zu edges)\n",
+                "(coverage)", coverage_pps, coverage_overhead_pct,
+                coverage_map.edges_covered());
 
     // --- tables --------------------------------------------------------------
     const std::vector<EngineBench> engines = bench_tables(lookups);
@@ -297,6 +331,9 @@ int main(int argc, char** argv) {
     std::string json = "{\n";
     json += "  \"bench\": \"pipeline\",\n";
     json += format("  \"pipeline_pps\": %.1f,\n", pipeline_pps);
+    json += format("  \"pipeline_coverage_pps\": %.1f,\n", coverage_pps);
+    json += format("  \"coverage_overhead_pct\": %.2f,\n", coverage_overhead_pct);
+    json += format("  \"coverage_edges\": %zu,\n", coverage_map.edges_covered());
     json += "  \"programs\": [";
     for (std::size_t i = 0; i < programs.size(); ++i) {
         const auto& b = programs[i];
@@ -364,6 +401,19 @@ int main(int argc, char** argv) {
                          "FAIL: pipeline packets/sec regressed more than 30%% "
                          "(%.0f < %.0f)\n",
                          pipeline_pps, floor);
+            return 1;
+        }
+    }
+
+    // --- coverage-overhead gate ----------------------------------------------
+    if (coverage_gate_pct >= 0) {
+        std::printf("coverage gate: %.2f%% overhead vs limit %.2f%%\n",
+                    coverage_overhead_pct, coverage_gate_pct);
+        if (coverage_overhead_pct > coverage_gate_pct) {
+            std::fprintf(stderr,
+                         "FAIL: coverage instrumentation costs %.2f%% of "
+                         "pipeline throughput (limit %.2f%%)\n",
+                         coverage_overhead_pct, coverage_gate_pct);
             return 1;
         }
     }

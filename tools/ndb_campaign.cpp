@@ -3,11 +3,22 @@
 //   ndb_campaign [--seeds N] [--seed BASE] [--threads T] [--batch B]
 //                [--programs a,b,...] [--backends a,b,...]
 //                [--no-localize] [--no-minimize] [--out BENCH_campaign.json]
+//                [--coverage] [--soak N [--corpus-dir DIR]]
 //
 // Runs N seeded scenarios differentially against every selected backend,
 // prints the triaged divergence report, and writes a benchmark JSON with
 // both the deterministic findings and the wall-clock throughput numbers
 // (scenarios/sec, packets/sec) so the perf trajectory is measurable.
+//
+// --coverage switches the engine to coverage-guided adaptive seed
+// scheduling: programs earning fresh coverage edges or fingerprints get
+// more of each round's budget, and the report JSON grows a deterministic
+// edges-discovered / coverage-% over-time series.
+//
+// --soak N runs an N-scenario guided campaign and appends every finding
+// with a new unique fingerprint to the regression corpus (deterministic
+// soak_*.corpus recipes under --corpus-dir, default tests/corpus), where
+// corpus_replay_test replays them forever after.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +27,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/soak.h"
 #include "util/strings.h"
 
 namespace {
@@ -30,7 +42,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--seed BASE] [--threads T] [--batch B]\n"
                  "          [--programs a,b,...] [--backends a,b,...]\n"
-                 "          [--no-localize] [--no-minimize] [--out FILE]\n",
+                 "          [--no-localize] [--no-minimize] [--out FILE]\n"
+                 "          [--coverage] [--soak N [--corpus-dir DIR]]\n",
                  argv0);
     return 2;
 }
@@ -44,6 +57,8 @@ int main(int argc, char** argv) {
     config.scenarios = 256;
     config.threads = 2;
     std::string out_path = "BENCH_campaign.json";
+    bool soak = false;
+    std::string corpus_dir = "tests/corpus";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -68,6 +83,14 @@ int main(int argc, char** argv) {
             for (const auto& name : split_csv(value())) {
                 config.duts.push_back(core::BackendSpec{name, std::nullopt, name});
             }
+        } else if (arg == "--coverage") {
+            config.coverage = true;
+        } else if (arg == "--soak") {
+            soak = true;
+            config.coverage = true;  // soaking wants the guided scheduler
+            config.scenarios = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--corpus-dir") {
+            corpus_dir = value();
         } else if (arg == "--no-localize") {
             config.localize = false;
         } else if (arg == "--no-minimize") {
@@ -77,6 +100,14 @@ int main(int argc, char** argv) {
         } else {
             return usage(argv[0]);
         }
+    }
+
+    if (soak) {
+        // Corpus recipes must replay under corpus_replay_test's contract:
+        // a localized stage in the fingerprint and a minimized reproducer.
+        // Soaking therefore overrides --no-localize / --no-minimize.
+        config.localize = true;
+        config.minimize = true;
     }
 
     core::CampaignEngine engine(config);
@@ -93,6 +124,18 @@ int main(int argc, char** argv) {
     std::printf("throughput: %.0f scenarios/sec, %.0f packets/sec (%.3fs wall, %d thread(s))\n",
                 stats.scenarios_per_sec, stats.packets_per_sec, stats.wall_seconds,
                 config.threads);
+
+    if (soak) {
+        const core::SoakResult grown =
+            core::append_unique_corpus_entries(report, corpus_dir);
+        std::printf("soak: %zu new corpus entr%s, %zu already known (%s)\n",
+                    grown.written.size(),
+                    grown.written.size() == 1 ? "y" : "ies",
+                    grown.skipped_known, corpus_dir.c_str());
+        for (const auto& name : grown.written) {
+            std::printf("  + %s\n", name.c_str());
+        }
+    }
 
     // BENCH_campaign.json: wall-clock wrapper around the deterministic report.
     std::string json = "{\n";
