@@ -12,9 +12,11 @@
 #include <utility>
 
 #include "core/generator.h"
+#include "core/mutate.h"
 #include "coverage/coverage.h"
 #include "coverage/scheduler.h"
 #include "target/device.h"
+#include "util/random.h"
 #include "util/strings.h"
 
 namespace ndb::core {
@@ -28,6 +30,10 @@ namespace {
 // determinism-under-sharding contract depends on it.
 constexpr std::uint64_t kEpochNs = 1'000'000;
 constexpr std::uint64_t kSlotNs = 672;
+
+// Decorrelates the fresh-vs-mutant coin (and parent pick) from both the
+// scenario seed stream and the mutation-derivation stream.
+constexpr std::uint64_t kMutateCoinSalt = 0x636f696e666c6970ull;  // "coinflip"
 
 struct StreamItem {
     std::uint32_t port = 0;
@@ -63,6 +69,11 @@ struct ScenarioOutcome {
     // Reference-device coverage of the detection run (guided mode only;
     // heap-held so uniform sweeps don't pay 16 KiB per outcome slot).
     std::unique_ptr<coverage::CoverageMap> coverage;
+    // Per-DUT coverage of the same detection run, parallel to the sweep's
+    // backend list.  Each device salts its edges by backend identity, so a
+    // quirk that bends execution onto a different path lights slots no
+    // reference run can -- DUT-side novelty the scheduler can reward.
+    std::vector<std::unique_ptr<coverage::CoverageMap>> dut_coverage;
 };
 
 std::uint64_t stamp_seq(const packet::Packet& pkt) {
@@ -337,6 +348,8 @@ CampaignReport CampaignEngine::run() {
         if (d.label.empty()) d.label = d.name;
     }
 
+    if (config_.mutate) config_.coverage = true;  // mutants need the scheduler
+
     const SpecGenerator gen(config_.programs);
 
     CampaignReport report;
@@ -347,10 +360,14 @@ CampaignReport CampaignEngine::run() {
     report.coverage_enabled = config_.coverage;
     if (config_.coverage) {
         report.coverage_map_slots = coverage::CoverageMap::kSlots;
+        report.coverage_edges_dut.assign(duts.size(), 0);
     }
 
+    // `recipe` is the slot's mutation parentage ("" = fresh seed); it rides
+    // into every DivergenceRecord so reports stay replayable.
     const auto run_one = [&](WorkerContext& ctx, const Scenario& sc,
-                             ScenarioOutcome& outcome) {
+                             ScenarioOutcome& outcome,
+                             const std::string& recipe) {
         // Build the stream once; every backend sees byte-identical stimuli
         // on an identical timeline.
         TestPacketGenerator pgen(sc.spec);
@@ -368,6 +385,7 @@ CampaignReport CampaignEngine::run() {
         if (config_.coverage) {
             outcome.coverage = std::make_unique<coverage::CoverageMap>();
             ctx.reference->set_coverage(outcome.coverage.get());
+            outcome.dut_coverage.resize(duts.size());
         }
         const DeviceRun ref_run = run_scenario_on(*ctx.reference, sc, packets,
                                                   config_.batch_size);
@@ -376,8 +394,17 @@ CampaignReport CampaignEngine::run() {
 
         for (std::size_t d = 0; d < duts.size(); ++d) {
             target::Device& dut = *ctx.duts[d];
+            // The DUT's detection run streams into its own per-scenario map
+            // (backend-salted inside the device); triage replays below run
+            // with coverage detached, like the reference's.
+            if (config_.coverage) {
+                outcome.dut_coverage[d] =
+                    std::make_unique<coverage::CoverageMap>();
+                dut.set_coverage(outcome.dut_coverage[d].get());
+            }
             const DeviceRun dut_run =
                 run_scenario_on(dut, sc, packets, config_.batch_size);
+            if (config_.coverage) dut.set_coverage(nullptr);
             outcome.packets += dut_run.injected;
 
             const auto raw = diff_runs(dut_run, ref_run);
@@ -385,6 +412,7 @@ CampaignReport CampaignEngine::run() {
 
             DivergenceRecord rec;
             rec.seed = sc.seed;
+            rec.recipe = recipe;
             rec.backend = duts[d].label;
             rec.program = sc.program;
             rec.quirk_signature = dut.config().quirks.signature();
@@ -510,25 +538,66 @@ CampaignReport CampaignEngine::run() {
     };
 
     const auto t0 = std::chrono::steady_clock::now();
-    if (!config_.coverage) {
+    if (!config_.mutation_recipe.empty()) {
+        // Single-recipe replay: run exactly the recorded mutant through the
+        // ordinary detection/triage path.  This is how a mutated corpus
+        // entry (or a report's parentage recipe) reproduces its divergence.
+        const auto parsed = MutationRecipe::parse(config_.mutation_recipe);
+        if (!parsed) {
+            throw std::invalid_argument("campaign: unparseable mutation recipe '" +
+                                        config_.mutation_recipe + "'");
+        }
+        const Mutator mutator(gen);
+        const Scenario sc = mutator.apply(*parsed);
+        report.scenarios = 1;
+        report.scenarios_mutated = 1;
+        std::vector<ScenarioOutcome> outcomes(1);
+        run_pool(1, [&](WorkerContext& ctx, std::uint64_t) {
+            run_one(ctx, sc, outcomes[0], config_.mutation_recipe);
+        });
+        fold_outcome(outcomes[0]);
+        if (config_.coverage) {
+            coverage::CoverageMap global;
+            if (outcomes[0].coverage) {
+                report.coverage_edges_reference +=
+                    global.merge_new_from(*outcomes[0].coverage);
+            }
+            for (std::size_t d = 0; d < outcomes[0].dut_coverage.size(); ++d) {
+                if (!outcomes[0].dut_coverage[d]) continue;
+                report.coverage_edges_dut[d] +=
+                    global.merge_new_from(*outcomes[0].dut_coverage[d]);
+            }
+            report.coverage_edges =
+                static_cast<std::uint64_t>(global.edges_covered());
+            report.coverage_series.push_back({1, report.coverage_edges});
+        }
+    } else if (!config_.coverage) {
         // Uniform sweep: every seed in [base, base + scenarios) once.
         std::vector<ScenarioOutcome> outcomes(config_.scenarios);
         run_pool(config_.scenarios,
                  [&](WorkerContext& ctx, std::uint64_t index) {
                      const Scenario sc = gen.make(config_.base_seed + index);
-                     run_one(ctx, sc, outcomes[index]);
+                     run_one(ctx, sc, outcomes[index], std::string());
                  });
         for (auto& outcome : outcomes) fold_outcome(outcome);
     } else {
         // Guided mode: deterministic rounds.  Each round the scheduler
         // apportions the budget across programs from the feedback merged so
-        // far; slots (program, fresh seed) are fixed before any worker
-        // starts, so thread count never changes what runs or how it merges.
+        // far; slots -- (program, fresh seed) or a fully derived mutation
+        // recipe -- are fixed before any worker starts, so thread count
+        // never changes what runs or how it merges.
         coverage::CorpusScheduler scheduler(gen.programs().size());
         coverage::CoverageMap global;
+        const Mutator mutator(gen);
+        ScenarioCorpus corpus;
+        if (config_.mutate && !config_.corpus_dir.empty()) {
+            corpus.load_dir(config_.corpus_dir, gen.programs());
+        }
         struct GuidedSlot {
             std::size_t program = 0;
             std::uint64_t seed = 0;
+            std::string recipe_text;  // empty = fresh seed
+            MutationRecipe recipe;    // valid when recipe_text is non-empty
         };
         const std::uint64_t round_cap =
             std::max<std::uint64_t>(8, 2 * gen.programs().size());
@@ -542,27 +611,72 @@ CampaignReport CampaignEngine::run() {
             slots.reserve(static_cast<std::size_t>(round));
             for (std::size_t p = 0; p < plan.size(); ++p) {
                 for (std::uint64_t k = 0; k < plan[p]; ++k) {
-                    slots.push_back({p, config_.base_seed + seed_cursor++});
+                    GuidedSlot slot;
+                    slot.program = p;
+                    slot.seed = config_.base_seed + seed_cursor++;
+                    // Fresh-vs-mutant draw: corpus membership only changes
+                    // at round barriers, and the coin is a pure function of
+                    // the slot seed, so the mix is schedule-independent.
+                    if (config_.mutate) {
+                        const auto& pool = corpus.entries(gen.programs()[p]);
+                        if (!pool.empty()) {
+                            util::Rng coin(slot.seed ^ kMutateCoinSalt);
+                            if (coin.next_double() < config_.mutation_rate) {
+                                const CorpusEntry& parent =
+                                    pool[coin.next_below(pool.size())];
+                                slot.recipe =
+                                    mutator.derive(corpus, parent, slot.seed);
+                                slot.recipe_text = slot.recipe.encode();
+                                ++report.scenarios_mutated;
+                            }
+                        }
+                    }
+                    slots.push_back(std::move(slot));
                 }
             }
             std::vector<ScenarioOutcome> outcomes(slots.size());
             run_pool(slots.size(), [&](WorkerContext& ctx, std::uint64_t i) {
                 const Scenario sc =
-                    gen.make_for(slots[i].program, slots[i].seed);
-                run_one(ctx, sc, outcomes[i]);
+                    slots[i].recipe_text.empty()
+                        ? gen.make_for(slots[i].program, slots[i].seed)
+                        : mutator.apply(slots[i].recipe);
+                run_one(ctx, sc, outcomes[i], slots[i].recipe_text);
             });
             // Round barrier: fold outcomes in slot order, then reward each
-            // program with its per-scenario energy gain (new coverage edges
-            // plus a bonus per fresh divergence fingerprint).
+            // program with its per-scenario energy gain (new reference and
+            // DUT coverage edges plus a bonus per fresh divergence
+            // fingerprint), and retain every interesting scenario in the
+            // mutation corpus.
             std::vector<double> gain(plan.size(), 0.0);
             for (std::size_t i = 0; i < slots.size(); ++i) {
                 const bool fresh = fold_outcome(outcomes[i]);
-                std::size_t new_edges = 0;
+                std::size_t ref_edges = 0;
+                std::size_t dut_edges = 0;
                 if (outcomes[i].coverage) {
-                    new_edges = global.merge_new_from(*outcomes[i].coverage);
+                    ref_edges = global.merge_new_from(*outcomes[i].coverage);
+                    report.coverage_edges_reference += ref_edges;
+                }
+                for (std::size_t d = 0; d < outcomes[i].dut_coverage.size();
+                     ++d) {
+                    if (!outcomes[i].dut_coverage[d]) continue;
+                    const std::size_t fresh_dut =
+                        global.merge_new_from(*outcomes[i].dut_coverage[d]);
+                    report.coverage_edges_dut[d] += fresh_dut;
+                    dut_edges += fresh_dut;
                 }
                 gain[slots[i].program] +=
-                    static_cast<double>(new_edges) / 8.0 + (fresh ? 1.0 : 0.0);
+                    static_cast<double>(ref_edges) / 8.0 +
+                    static_cast<double>(dut_edges) / 16.0 + (fresh ? 1.0 : 0.0);
+                if (config_.mutate && (fresh || ref_edges > 0 || dut_edges > 0)) {
+                    if (slots[i].recipe_text.empty()) {
+                        corpus.add(gen.programs()[slots[i].program],
+                                   slots[i].seed);
+                    } else {
+                        corpus.add(gen.programs()[slots[i].program],
+                                   slots[i].recipe.parent_seed,
+                                   slots[i].recipe_text);
+                    }
+                }
             }
             for (std::size_t p = 0; p < plan.size(); ++p) {
                 if (plan[p] == 0) continue;
@@ -600,15 +714,26 @@ std::string CampaignReport::to_string() const {
         static_cast<unsigned long long>(findings_total), divergences.size(),
         dedup_ratio());
     if (coverage_enabled) {
+        std::uint64_t dut_total = 0;
+        for (const auto e : coverage_edges_dut) dut_total += e;
         s += util::format(
-            "  coverage: %llu/%llu edges (%.1f%%) over %zu round(s)\n",
+            "  coverage: %llu/%llu edges (%.1f%%: %llu reference + %llu dut) "
+            "over %zu round(s)\n",
             static_cast<unsigned long long>(coverage_edges),
             static_cast<unsigned long long>(coverage_map_slots),
             coverage_map_slots
                 ? 100.0 * static_cast<double>(coverage_edges) /
                       static_cast<double>(coverage_map_slots)
                 : 0.0,
+            static_cast<unsigned long long>(coverage_edges_reference),
+            static_cast<unsigned long long>(dut_total),
             coverage_series.size());
+    }
+    if (scenarios_mutated) {
+        s += util::format("  mutated: %llu of %llu scenario(s) drawn from the "
+                          "corpus\n",
+                          static_cast<unsigned long long>(scenarios_mutated),
+                          static_cast<unsigned long long>(scenarios));
     }
     for (const auto& d : divergences) {
         s += util::format(
@@ -618,6 +743,9 @@ std::string CampaignReport::to_string() const {
             static_cast<unsigned long long>(d.minimized_count),
             static_cast<unsigned long long>(d.duplicates),
             d.localized.diverged ? d.localized.to_string().c_str() : "");
+        if (!d.recipe.empty()) {
+            s += util::format("    parentage: %s\n", d.recipe.c_str());
+        }
     }
     return s;
 }
@@ -636,6 +764,8 @@ std::string CampaignReport::to_json() const {
                       static_cast<unsigned long long>(findings_total));
     s += util::format("  \"divergences_unique\": %zu,\n", divergences.size());
     s += util::format("  \"dedup_ratio\": %.3f,\n", dedup_ratio());
+    s += util::format("  \"scenarios_mutated\": %llu,\n",
+                      static_cast<unsigned long long>(scenarios_mutated));
     if (coverage_enabled) {
         // Edges-discovered over scenarios: the guided campaign's trajectory,
         // one sample per scheduler round.  Deterministic like the rest.
@@ -644,6 +774,17 @@ std::string CampaignReport::to_json() const {
                           static_cast<unsigned long long>(coverage_map_slots));
         s += util::format("\"edges_discovered\": %llu, ",
                           static_cast<unsigned long long>(coverage_edges));
+        s += util::format("\"edges_reference\": %llu, ",
+                          static_cast<unsigned long long>(coverage_edges_reference));
+        s += "\"edges_dut\": [";
+        for (std::size_t i = 0; i < coverage_edges_dut.size(); ++i) {
+            if (i) s += ", ";
+            s += util::format(
+                "{\"backend\": \"%s\", \"edges\": %llu}",
+                json_escape(i < backends.size() ? backends[i] : "").c_str(),
+                static_cast<unsigned long long>(coverage_edges_dut[i]));
+        }
+        s += "], ";
         s += util::format(
             "\"coverage_pct\": %.2f, ",
             coverage_map_slots
@@ -671,6 +812,7 @@ std::string CampaignReport::to_json() const {
         s += i ? ",\n    {" : "\n    {";
         s += util::format("\"seed\": %llu, ",
                           static_cast<unsigned long long>(d.seed));
+        s += "\"recipe\": \"" + json_escape(d.recipe) + "\", ";
         s += "\"backend\": \"" + json_escape(d.backend) + "\", ";
         s += "\"program\": \"" + json_escape(d.program) + "\", ";
         s += "\"quirks\": \"" + json_escape(d.quirk_signature) + "\", ";

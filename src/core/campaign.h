@@ -24,6 +24,17 @@
 // are planned from config + already-merged feedback only, and feedback is
 // merged in scenario order at a round barrier, so the report (coverage
 // series included) keeps the byte-identical-across-thread-counts contract.
+//
+// Mutation mode (config.mutate, implies coverage): the full greybox loop.
+// Interesting scenarios -- fresh coverage edges or a fresh fingerprint --
+// are retained in a ScenarioCorpus (optionally preloaded from `.corpus`
+// recipes), and subsequent rounds draw a scheduler-controlled mix of fresh
+// seeds and splice/havoc mutants over that corpus (src/core/mutate.h).
+// Coverage feedback now includes per-backend-salted *DUT* edge maps, so
+// quirk-divergent paths -- not just reference-side novelty -- earn energy.
+// Every divergence records its parentage: a bare seed for fresh scenarios,
+// an encoded mutation recipe (replayable via config.mutation_recipe) for
+// mutants.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +73,23 @@ struct CampaignConfig {
     // Coverage-guided adaptive seed scheduling (see file header).  Off by
     // default: the uniform sweep remains the corpus-replay contract.
     bool coverage = false;
+
+    // Greybox mutation over the stored corpus (src/core/mutate.h).  Implies
+    // coverage: guided rounds draw a scheduler-controlled mix of fresh
+    // seeds and corpus mutants (splice/havoc recipes over retained
+    // scenarios), planned at round barriers so the report keeps the
+    // byte-identical-across-thread-counts contract.
+    bool mutate = false;
+    // Probability that a slot whose program already has corpus entries is
+    // drawn as a mutant instead of a fresh seed.
+    double mutation_rate = 0.5;
+    // Directory of .corpus recipes preloaded into the mutation corpus
+    // (empty = the corpus grows from this run's own retained scenarios).
+    std::string corpus_dir;
+    // Single-scenario replay of one encoded MutationRecipe: when non-empty
+    // the engine runs exactly that mutant (`scenarios` is ignored), which
+    // is how a mutated divergence replays through the ordinary path.
+    std::string mutation_recipe;
 };
 
 struct DivergenceRecord {
@@ -77,6 +105,11 @@ struct DivergenceRecord {
     std::uint64_t minimized_count = 0;         // shortest reproducing prefix
     bool minimized_reproduces = false;
     LocalizeResult localized;
+
+    // Parentage: empty for a fresh seed (the seed field alone replays it),
+    // otherwise the encoded MutationRecipe whose replay -- through
+    // CampaignConfig::mutation_recipe -- reproduces this divergence.
+    std::string recipe;
 
     // backend|quirk-signature|first-diverging-stage: the dedup key.
     std::string fingerprint;
@@ -107,6 +140,15 @@ struct CampaignReport {
     std::uint64_t coverage_map_slots = 0;  // CoverageMap::kSlots
     std::uint64_t coverage_edges = 0;      // final edges_covered()
     std::vector<CoveragePoint> coverage_series;
+    // Split of coverage_edges by which device's map lit them first, merged
+    // in slot order (reference before DUTs): the DUT maps are salted per
+    // backend, so quirk-divergent execution earns its own novelty.
+    std::uint64_t coverage_edges_reference = 0;
+    std::vector<std::uint64_t> coverage_edges_dut;  // parallel to `backends`
+
+    // Mutation-mode output: slots drawn as corpus mutants (0 when mutate
+    // was off or the corpus never produced a parent).
+    std::uint64_t scenarios_mutated = 0;
 
     double dedup_ratio() const {
         return divergences.empty()

@@ -1,0 +1,347 @@
+#include "core/mutate.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace ndb::core {
+
+using util::Bitvec;
+using util::Rng;
+
+namespace {
+
+// Decorrelates the mutation-derivation RNG stream from the scenario seed
+// stream (both are fed the same slot seeds by the campaign engine).
+constexpr std::uint64_t kDeriveSalt = 0x6d75746174652121ull;  // "mutate!!"
+
+struct OpNameEntry {
+    MutationOp::Kind kind;
+    const char* name;
+};
+
+constexpr OpNameEntry kOpNames[] = {
+    {MutationOp::Kind::field_flip, "flip"},
+    {MutationOp::Kind::field_boundary, "bound"},
+    {MutationOp::Kind::packet_byte, "byte"},
+    {MutationOp::Kind::config_drop, "cfgdrop"},
+    {MutationOp::Kind::config_dup, "cfgdup"},
+    {MutationOp::Kind::config_swap, "cfgswap"},
+    {MutationOp::Kind::splice, "splice"},
+};
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        const auto digit = static_cast<std::uint64_t>(c - '0');
+        // Overflow is damage, not a value: wrapping would silently replay
+        // a different mutation.
+        if (value > (UINT64_MAX - digit) / 10) return false;
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+const char* mutation_op_name(MutationOp::Kind kind) {
+    for (const auto& e : kOpNames) {
+        if (e.kind == kind) return e.name;
+    }
+    return "?";
+}
+
+// --- recipe text form ---------------------------------------------------------
+
+std::string MutationRecipe::encode() const {
+    std::string out = util::format(
+        "%s#%llu", program.c_str(),
+        static_cast<unsigned long long>(parent_seed));
+    for (const MutationOp& op : ops) {
+        out += util::format("|%s:%llu:%llu", mutation_op_name(op.kind),
+                            static_cast<unsigned long long>(op.a),
+                            static_cast<unsigned long long>(op.b));
+    }
+    return out;
+}
+
+std::optional<MutationRecipe> MutationRecipe::parse(std::string_view text) {
+    MutationRecipe recipe;
+    std::size_t start = 0;
+    bool first = true;
+    while (start <= text.size()) {
+        const std::size_t bar = text.find('|', start);
+        const std::string_view item = text.substr(
+            start, bar == std::string_view::npos ? std::string_view::npos
+                                                 : bar - start);
+        if (first) {
+            const std::size_t hash = item.find('#');
+            if (hash == std::string_view::npos || hash == 0) return std::nullopt;
+            recipe.program = std::string(item.substr(0, hash));
+            if (!parse_u64(item.substr(hash + 1), recipe.parent_seed)) {
+                return std::nullopt;
+            }
+            first = false;
+        } else {
+            // Strictly name:a:b -- the encoder always writes both operands,
+            // so a missing one means truncation or hand-editing damage and
+            // must fail loudly rather than replay a different mutation.
+            const std::size_t c1 = item.find(':');
+            if (c1 == std::string_view::npos) return std::nullopt;
+            const std::size_t c2 = item.find(':', c1 + 1);
+            if (c2 == std::string_view::npos) return std::nullopt;
+            MutationOp op;
+            const std::string_view name = item.substr(0, c1);
+            bool known = false;
+            for (const auto& e : kOpNames) {
+                if (name == e.name) {
+                    op.kind = e.kind;
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) return std::nullopt;
+            if (!parse_u64(item.substr(c1 + 1, c2 - c1 - 1), op.a)) {
+                return std::nullopt;
+            }
+            if (!parse_u64(item.substr(c2 + 1), op.b)) return std::nullopt;
+            recipe.ops.push_back(op);
+        }
+        if (bar == std::string_view::npos) break;
+        start = bar + 1;
+    }
+    if (first) return std::nullopt;  // empty input
+    return recipe;
+}
+
+// --- corpus -------------------------------------------------------------------
+
+std::size_t ScenarioCorpus::load_dir(const std::string& dir,
+                                     const std::vector<std::string>& programs) {
+    if (!std::filesystem::is_directory(dir)) return 0;
+    std::vector<std::filesystem::path> files;
+    for (const auto& file : std::filesystem::directory_iterator(dir)) {
+        if (file.path().extension() == ".corpus") files.push_back(file.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::size_t loaded = 0;
+    for (const auto& path : files) {
+        std::ifstream in(path);
+        std::string line, program, recipe;
+        std::uint64_t seed = 0;
+        bool seed_ok = false;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#') continue;
+            const std::size_t eq = line.find('=');
+            if (eq == std::string::npos) continue;
+            const std::string key = line.substr(0, eq);
+            const std::string value = line.substr(eq + 1);
+            // seed= gets the same strict parse as recipe operands: a
+            // damaged line must skip the entry, not load a different seed.
+            if (key == "seed") seed_ok = parse_u64(value, seed);
+            else if (key == "program") program = value;
+            else if (key == "mutate") recipe = value;
+        }
+        if (program.empty() || !seed_ok) continue;
+        if (std::find(programs.begin(), programs.end(), program) ==
+            programs.end()) {
+            continue;  // outside this campaign's catalogue slice
+        }
+        if (!recipe.empty()) {
+            // The recipe must both parse and name the entry's own program:
+            // an inconsistent file would otherwise smuggle an out-of-
+            // catalogue (or misfiled) parent past the filter above and blow
+            // up a worker at apply() time.
+            const auto parsed = MutationRecipe::parse(recipe);
+            if (!parsed || parsed->program != program) continue;
+        }
+        if (add(program, seed, recipe)) ++loaded;
+    }
+    return loaded;
+}
+
+bool ScenarioCorpus::add(const std::string& program, std::uint64_t seed,
+                         const std::string& recipe) {
+    const std::string key = util::format(
+        "%s#%llu#%s", program.c_str(), static_cast<unsigned long long>(seed),
+        recipe.c_str());
+    if (!keys_.insert(key).second) return false;
+    by_program_[program].push_back(CorpusEntry{program, seed, recipe});
+    ++total_;
+    return true;
+}
+
+const std::vector<CorpusEntry>& ScenarioCorpus::entries(
+    const std::string& program) const {
+    static const std::vector<CorpusEntry> kEmpty;
+    const auto it = by_program_.find(program);
+    return it == by_program_.end() ? kEmpty : it->second;
+}
+
+// --- mutator ------------------------------------------------------------------
+
+std::size_t Mutator::program_index(const std::string& program) const {
+    const auto& programs = gen_->programs();
+    const auto it = std::find(programs.begin(), programs.end(), program);
+    if (it == programs.end()) {
+        throw std::invalid_argument("mutate: recipe names program '" + program +
+                                    "' outside the generator's catalogue");
+    }
+    return static_cast<std::size_t>(it - programs.begin());
+}
+
+MutationRecipe Mutator::derive(const ScenarioCorpus& corpus,
+                               const CorpusEntry& parent,
+                               std::uint64_t seed) const {
+    MutationRecipe recipe;
+    if (!parent.recipe.empty()) {
+        // Chain: extend the mutant parent's own op list, unless this
+        // derivation's worst case (one splice + four havoc ops) would push
+        // past the cap -- then restart from its root seed so a recipe
+        // never exceeds kMaxChainOps ops.
+        if (auto parsed = MutationRecipe::parse(parent.recipe)) {
+            if (parsed->ops.size() + kMaxOpsPerDerive <= kMaxChainOps) {
+                recipe = std::move(*parsed);
+            } else {
+                recipe.program = parsed->program;
+                recipe.parent_seed = parsed->parent_seed;
+            }
+        }
+    }
+    if (recipe.program.empty()) {
+        recipe.program = parent.program;
+        recipe.parent_seed = parent.seed;
+    }
+
+    Rng rng(seed ^ kDeriveSalt);
+
+    // Splice goes to the *front* of the whole chain, and a chain carries at
+    // most one: a splice replaces the packet plan wholesale, so anywhere
+    // later it would wipe exactly the perturbations (or an earlier donor's
+    // plan) that earned the parent its corpus slot.  Applied first, the
+    // inherited (and new) havoc ops perturb the spliced result instead.
+    // Donors are fresh same-program corpus entries -- a donor seed is all
+    // the recipe needs to rebuild the donor's packet plan on replay.
+    const std::vector<CorpusEntry>& pool = corpus.entries(recipe.program);
+    std::vector<const CorpusEntry*> donors;
+    for (const CorpusEntry& e : pool) {
+        if (e.recipe.empty() && e.seed != recipe.parent_seed) {
+            donors.push_back(&e);
+        }
+    }
+    const bool chain_has_splice = std::any_of(
+        recipe.ops.begin(), recipe.ops.end(), [](const MutationOp& op) {
+            return op.kind == MutationOp::Kind::splice;
+        });
+    if (!donors.empty() && !chain_has_splice && rng.next_bool(0.3)) {
+        MutationOp op;
+        op.kind = MutationOp::Kind::splice;
+        op.a = rng.next_below(9);  // config prefix kept (mod at apply)
+        op.b = donors[rng.next_below(donors.size())]->seed;
+        recipe.ops.insert(recipe.ops.begin(), op);
+    }
+
+    const std::uint64_t havoc = rng.next_range(1, 4);
+    for (std::uint64_t i = 0; i < havoc; ++i) {
+        static constexpr MutationOp::Kind kHavoc[] = {
+            MutationOp::Kind::field_flip,    MutationOp::Kind::field_flip,
+            MutationOp::Kind::field_boundary, MutationOp::Kind::packet_byte,
+            MutationOp::Kind::packet_byte,   MutationOp::Kind::config_drop,
+            MutationOp::Kind::config_dup,    MutationOp::Kind::config_swap,
+        };
+        MutationOp op;
+        op.kind = kHavoc[rng.next_below(std::size(kHavoc))];
+        op.a = rng.next_u64();
+        op.b = rng.next_u64();
+        recipe.ops.push_back(op);
+    }
+    return recipe;
+}
+
+Scenario Mutator::apply(const MutationRecipe& recipe) const {
+    const std::size_t idx = program_index(recipe.program);
+    Scenario s = gen_->make_for(idx, recipe.parent_seed);
+
+    for (const MutationOp& op : recipe.ops) {
+        switch (op.kind) {
+            case MutationOp::Kind::field_flip: {
+                auto& muts = s.spec.tmpl.mutations;
+                if (muts.empty()) break;
+                FieldMutation& m = muts[op.a % muts.size()];
+                if (m.width <= 0) break;
+                Bitvec mask(m.width, op.b);
+                if (mask.is_zero()) mask = Bitvec(m.width, 1);
+                m.value = m.value.bxor(mask);
+                break;
+            }
+            case MutationOp::Kind::field_boundary: {
+                auto& muts = s.spec.tmpl.mutations;
+                if (muts.empty()) break;
+                FieldMutation& m = muts[op.a % muts.size()];
+                if (m.width <= 0) break;
+                switch (op.b % 3) {
+                    case 0: m.value = Bitvec(m.width); break;
+                    case 1: m.value = Bitvec::ones(m.width); break;
+                    default: m.value = Bitvec(m.width, 1); break;
+                }
+                break;
+            }
+            case MutationOp::Kind::packet_byte: {
+                packet::Packet& base = s.spec.tmpl.base;
+                if (base.empty()) break;
+                const std::size_t off = op.a % base.size();
+                const auto mask = static_cast<std::uint8_t>(op.b % 255 + 1);
+                base.set_byte(off, base.byte(off) ^ mask);
+                break;
+            }
+            case MutationOp::Kind::config_drop: {
+                if (s.config.empty()) break;
+                s.config.erase(s.config.begin() +
+                               static_cast<std::ptrdiff_t>(op.a % s.config.size()));
+                break;
+            }
+            case MutationOp::Kind::config_dup: {
+                if (s.config.empty()) break;
+                ConfigOp copy = s.config[op.a % s.config.size()];
+                s.config.insert(
+                    s.config.begin() +
+                        static_cast<std::ptrdiff_t>(op.b % (s.config.size() + 1)),
+                    std::move(copy));
+                break;
+            }
+            case MutationOp::Kind::config_swap: {
+                if (s.config.size() < 2) break;
+                std::size_t i = op.a % s.config.size();
+                std::size_t j = op.b % s.config.size();
+                if (i == j) j = (j + 1) % s.config.size();
+                std::swap(s.config[i], s.config[j]);
+                break;
+            }
+            case MutationOp::Kind::splice: {
+                // Parent's control-plane prefix crossed with the donor's
+                // packet plan: the donor is the same catalogue program, so
+                // its stimulus stays meaningful against the kept config.
+                const Scenario donor = gen_->make_for(idx, op.b);
+                const std::size_t prefix = op.a % (s.config.size() + 1);
+                s.config.resize(prefix);
+                const std::string name = s.spec.name;
+                s.spec = donor.spec;
+                s.spec.name = name;
+                break;
+            }
+        }
+    }
+    s.spec.name += util::format("~m%zu", recipe.ops.size());
+    return s;
+}
+
+}  // namespace ndb::core

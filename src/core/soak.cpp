@@ -92,6 +92,10 @@ SoakResult append_unique_corpus_entries(const CampaignReport& report,
         out << "backend=" << rec.backend << "\n";
         out << "quirks=" << rec.quirk_signature << "\n";
         out << "stage=" << stage << "\n";
+        // Mutant parentage: the encoded recipe replays the exact mutated
+        // scenario (CampaignConfig::mutation_recipe); absent for fresh
+        // seeds, so pre-mutation corpus files keep parsing unchanged.
+        if (!rec.recipe.empty()) out << "mutate=" << rec.recipe << "\n";
         result.written.push_back(name);
     }
     std::sort(result.written.begin(), result.written.end());

@@ -6,7 +6,11 @@
 // fingerprint is appended as a fresh recipe file that corpus_replay_test
 // will replay forever after.  File names are a pure function of the
 // fingerprint, so re-running a soak never duplicates entries and two
-// machines discovering the same bug write the same file.
+// machines discovering the same bug write the same file.  Divergences that
+// came out of the mutation engine additionally carry a `mutate=` line (the
+// encoded MutationRecipe), so soak-discovered mutants replay exactly; files
+// without one replay as plain fresh seeds, keeping the format
+// backward-compatible.
 #pragma once
 
 #include <string>

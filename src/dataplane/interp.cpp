@@ -131,10 +131,10 @@ void collect_branches(
 
 }  // namespace
 
-void Interpreter::set_coverage(coverage::CoverageMap* map) {
+void Interpreter::set_coverage(coverage::CoverageMap* map, std::uint64_t salt) {
     coverage_ = map;
     if (!map) return;
-    cov_salt_ = coverage::program_salt(prog_.name);
+    cov_salt_ = coverage::program_salt(prog_.name) ^ salt;
     if (!branch_ids_.empty()) return;
     // Fixed walk order (ingress, egress, actions by id) keeps the ordinals
     // a pure function of the program.

@@ -59,11 +59,13 @@ public:
     void clear_applies() { applies_.clear(); }
 
     // Coverage instrumentation: when a map is set, table hits/misses,
-    // action invocations and branch edges are recorded into it.  The static
-    // branch ordinals are assigned on the first call (a deterministic
-    // pre-order walk of the controls and actions), so enabling coverage
-    // allocates once here and never on the per-packet path.
-    void set_coverage(coverage::CoverageMap* map);
+    // action invocations and branch edges are recorded into it, salted by
+    // the program name XOR `salt` (devices pass a per-backend salt so DUT
+    // edges never alias reference edges).  The static branch ordinals are
+    // assigned on the first call (a deterministic pre-order walk of the
+    // controls and actions), so enabling coverage allocates once here and
+    // never on the per-packet path.
+    void set_coverage(coverage::CoverageMap* map, std::uint64_t salt = 0);
 
 private:
     void exec_body(const std::vector<p4::ir::StmtPtr>& body, PacketState& state,
@@ -91,7 +93,7 @@ private:
     std::vector<std::uint8_t> bytes_scratch_;
 
     coverage::CoverageMap* coverage_ = nullptr;
-    std::uint64_t cov_salt_ = 0;  // program_salt(prog_.name), set with the map
+    std::uint64_t cov_salt_ = 0;  // program_salt(prog_.name) ^ device salt
     // if_stmt -> stable ordinal; built once per program when coverage is
     // first enabled (identical walk order => identical ordinals everywhere).
     std::unordered_map<const p4::ir::Stmt*, std::uint32_t> branch_ids_;

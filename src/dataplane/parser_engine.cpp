@@ -8,9 +8,9 @@ namespace ndb::dataplane {
 using p4::ir::kAccept;
 using p4::ir::kReject;
 
-void ParserEngine::set_coverage(coverage::CoverageMap* map) {
+void ParserEngine::set_coverage(coverage::CoverageMap* map, std::uint64_t salt) {
     coverage_ = map;
-    if (map) cov_salt_ = coverage::program_salt(prog_.name);
+    if (map) cov_salt_ = coverage::program_salt(prog_.name) ^ salt;
 }
 
 ParserVerdict ParserEngine::run(const packet::Packet& pkt, PacketState& state,

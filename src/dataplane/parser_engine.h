@@ -19,9 +19,11 @@ public:
 
     // Coverage instrumentation: when set, every state transition (and the
     // terminal state/verdict pair) records an edge into the map, salted by
-    // the program name.  nullptr (the default) reduces the instrumentation
-    // to one untaken branch per transition.
-    void set_coverage(coverage::CoverageMap* map);
+    // the program name XOR `salt` (devices pass a per-backend salt so a
+    // DUT's execution of the same path lights distinct slots from the
+    // reference's).  nullptr (the default) reduces the instrumentation to
+    // one untaken branch per transition.
+    void set_coverage(coverage::CoverageMap* map, std::uint64_t salt = 0);
 
     // Fills `state` (headers, payload, verdict) from the packet bytes.
     // With the `reject_as_accept` quirk, explicit rejects and parse errors
@@ -37,7 +39,7 @@ private:
     const p4::ir::Program& prog_;
     Quirks quirks_;
     coverage::CoverageMap* coverage_ = nullptr;
-    std::uint64_t cov_salt_ = 0;  // program_salt(prog_.name), set with the map
+    std::uint64_t cov_salt_ = 0;  // program_salt(prog_.name) ^ device salt
 };
 
 }  // namespace ndb::dataplane

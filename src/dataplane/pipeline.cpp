@@ -34,10 +34,10 @@ Pipeline::Pipeline(const p4::ir::Program& prog, TableSet& tables,
       parser_(prog, options.quirks),
       interp_(prog, tables, stateful, options.quirks) {}
 
-void Pipeline::set_coverage(coverage::CoverageMap* map) {
+void Pipeline::set_coverage(coverage::CoverageMap* map, std::uint64_t salt) {
     coverage_ = map;
-    parser_.set_coverage(map);
-    interp_.set_coverage(map);
+    parser_.set_coverage(map, salt);
+    interp_.set_coverage(map, salt);
 }
 
 PipelineResult Pipeline::process(const packet::Packet& in) {

@@ -118,7 +118,7 @@ public:
     // execution engines into `map`.  Off (nullptr) by default; when off the
     // only cost is a null check per instrumentation site, and when on no
     // per-packet allocation is ever made (the map is a fixed array).
-    void set_coverage(coverage::CoverageMap* map);
+    void set_coverage(coverage::CoverageMap* map, std::uint64_t salt = 0);
     coverage::CoverageMap* coverage() const { return coverage_; }
 
 private:

@@ -30,6 +30,8 @@ void push_ring(std::vector<T>& ring, std::size_t cap, T record) {
 
 SimDevice::SimDevice(DeviceConfig config) : config_(std::move(config)) {
     config_.num_ports = std::max(config_.num_ports, 1);
+    cov_salt_ = util::fnv1a_64(config_.backend) ^
+                util::fnv1a_64(config_.quirks.signature());
     clock_ns_ = config_.epoch_ns;
     egress_queues_.resize(static_cast<std::size_t>(config_.num_ports));
     for (auto& q : egress_queues_) q.reserve(kEgressQueueReserve);
@@ -50,14 +52,14 @@ Status SimDevice::load(const p4::ir::Program& prog) {
                                                       std::move(options));
     // load() replaces the pipeline wholesale, so coverage mode must be
     // re-applied here for the setting to survive an image swap.
-    pipeline_->set_coverage(coverage_);
+    pipeline_->set_coverage(coverage_, cov_salt_);
     clear_dynamic_state();
     return Status::success();
 }
 
 void SimDevice::set_coverage(coverage::CoverageMap* map) {
     coverage_ = map;
-    if (pipeline_) pipeline_->set_coverage(map);
+    if (pipeline_) pipeline_->set_coverage(map, cov_salt_);
 }
 
 void SimDevice::clear_dynamic_state() {

@@ -114,6 +114,12 @@ private:
     bool digests_enabled_ = false;
     std::vector<dataplane::TapDigest> digests_;
     coverage::CoverageMap* coverage_ = nullptr;  // not owned
+    // Per-backend coverage salt: fnv(backend name) ^ fnv(quirk signature),
+    // folded into every edge the pipeline records.  Two devices tracing the
+    // identical path light different slots when they are different
+    // backends, which is what lets the campaign scheduler see DUT-side
+    // (quirk-divergent) novelty as distinct from reference novelty.
+    std::uint64_t cov_salt_ = 0;
 
     std::uint64_t clock_ns_ = 0;
 };

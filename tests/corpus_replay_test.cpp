@@ -26,6 +26,10 @@ struct CorpusEntry {
     std::string backend;
     std::string quirks_signature;
     std::string stage;
+    // Optional mutation parentage: when present the entry is a mutant and
+    // replays through CampaignConfig::mutation_recipe instead of a bare
+    // seed.  Absent on pre-mutation corpus files (backward compatible).
+    std::string mutate;
 };
 
 // Parses a quirk signature ("a+b=2+c", as produced by Quirks::signature())
@@ -80,6 +84,7 @@ std::vector<CorpusEntry> load_corpus() {
             else if (key == "backend") entry.backend = value;
             else if (key == "quirks") entry.quirks_signature = value;
             else if (key == "stage") entry.stage = value;
+            else if (key == "mutate") entry.mutate = value;
         }
         entries.push_back(std::move(entry));
     }
@@ -100,6 +105,7 @@ TEST(CorpusReplay, EveryKnownDivergenceStillTriggers) {
         config.threads = 1;
         config.programs = {entry.program};
         config.duts = {core::BackendSpec{entry.backend, quirks, "dut"}};
+        config.mutation_recipe = entry.mutate;  // "" = fresh-seed replay
         core::CampaignEngine engine(config);
         const core::CampaignReport report = engine.run();
 

@@ -19,11 +19,15 @@
 #include "core/specgen.h"
 #include "coverage/coverage.h"
 #include "coverage/scheduler.h"
+#include "quirk_fixture.h"
 #include "target/device.h"
 
 namespace {
 
 using namespace ndb;
+using ndb_test::FlagFixture;
+using ndb_test::budget_to_all_seven;
+using ndb_test::seven_flag_fixture;
 
 // Runs one seeded catalogue scenario on a fresh reference device with
 // coverage instrumentation attached; returns the filled map.
@@ -214,77 +218,9 @@ TEST(GuidedCampaign, ReportByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(r1.coverage_series.back().scenarios, r1.scenarios);
 }
 
-// The seven-flag acceptance sweep: one single-quirk DUT per Quirks flag,
-// each paired with the catalogue program that exercises it.
-struct FlagFixture {
-    std::vector<std::string> programs;
-    std::vector<core::BackendSpec> duts;
-};
-
-FlagFixture seven_flag_fixture() {
-    FlagFixture fx;
-    const auto add = [&fx](const std::string& label, dataplane::Quirks q,
-                           const std::string& program) {
-        fx.duts.push_back(core::BackendSpec{"sdnet", q, label});
-        if (std::find(fx.programs.begin(), fx.programs.end(), program) ==
-            fx.programs.end()) {
-            fx.programs.push_back(program);
-        }
-    };
-    {
-        dataplane::Quirks q;
-        q.reject_as_accept = true;
-        add("reject_as_accept", q, "reject_filter");
-    }
-    {
-        dataplane::Quirks q;
-        q.parser_depth_limit = 4;
-        add("parser_depth_limit", q, "deep_parser");
-    }
-    {
-        dataplane::Quirks q;
-        q.skip_checksum_update = true;
-        add("skip_checksum_update", q, "ipv4_router");
-    }
-    {
-        dataplane::Quirks q;
-        q.shift_miscompile = true;
-        add("shift_miscompile", q, "shift_mangler");
-    }
-    {
-        dataplane::Quirks q;
-        q.table_size_clamp = 2;
-        add("table_size_clamp", q, "l2_switch");
-    }
-    {
-        dataplane::Quirks q;
-        q.ternary_priority_inverted = true;
-        add("ternary_priority_inverted", q, "acl_firewall");
-    }
-    {
-        dataplane::Quirks q;
-        q.metadata_clobber = true;
-        add("metadata_clobber", q, "meta_echo");
-    }
-    return fx;
-}
-
-// Scenario budget a report needed before every one of the seven flags had
-// produced at least one fingerprint (max over flags of the first discovery
-// ordinal); 0 when a flag was never found.
-std::uint64_t budget_to_all_seven(const core::CampaignReport& report,
-                                  const FlagFixture& fx) {
-    std::map<std::string, std::uint64_t> first;
-    for (const auto& d : report.divergences) {
-        auto [it, inserted] = first.emplace(d.backend, d.discovered_at);
-        if (!inserted) it->second = std::min(it->second, d.discovered_at);
-    }
-    if (first.size() < fx.duts.size()) return 0;
-    std::uint64_t worst = 0;
-    for (const auto& [label, at] : first) worst = std::max(worst, at);
-    return worst;
-}
-
+// The seven-flag acceptance sweep (tests/quirk_fixture.h): one
+// single-quirk DUT per Quirks flag, each paired with the catalogue
+// program that exercises it.
 TEST(GuidedCampaign, FindsAllSevenFingerprintsWithinUniformBudget) {
     const FlagFixture fx = seven_flag_fixture();
 

@@ -3,7 +3,8 @@
 //   ndb_campaign [--seeds N] [--seed BASE] [--threads T] [--batch B]
 //                [--programs a,b,...] [--backends a,b,...]
 //                [--no-localize] [--no-minimize] [--out BENCH_campaign.json]
-//                [--coverage] [--soak N [--corpus-dir DIR]]
+//                [--coverage] [--mutate] [--mutation-rate F]
+//                [--soak N] [--corpus-dir DIR]
 //
 // Runs N seeded scenarios differentially against every selected backend,
 // prints the triaged divergence report, and writes a benchmark JSON with
@@ -15,10 +16,17 @@
 // more of each round's budget, and the report JSON grows a deterministic
 // edges-discovered / coverage-% over-time series.
 //
+// --mutate turns the guided scheduler into the full greybox loop (implies
+// --coverage): interesting scenarios are retained in a mutation corpus
+// (preloaded from --corpus-dir recipes when present) and later rounds draw
+// a --mutation-rate mix of fresh seeds and splice/havoc mutants over it;
+// every mutated divergence records its replayable parentage recipe.
+//
 // --soak N runs an N-scenario guided campaign and appends every finding
 // with a new unique fingerprint to the regression corpus (deterministic
 // soak_*.corpus recipes under --corpus-dir, default tests/corpus), where
-// corpus_replay_test replays them forever after.
+// corpus_replay_test replays them forever after -- mutate= recipe line
+// included when the finding came out of the mutation engine.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +51,8 @@ int usage(const char* argv0) {
                  "usage: %s [--seeds N] [--seed BASE] [--threads T] [--batch B]\n"
                  "          [--programs a,b,...] [--backends a,b,...]\n"
                  "          [--no-localize] [--no-minimize] [--out FILE]\n"
-                 "          [--coverage] [--soak N [--corpus-dir DIR]]\n",
+                 "          [--coverage] [--mutate] [--mutation-rate F]\n"
+                 "          [--soak N] [--corpus-dir DIR]\n",
                  argv0);
     return 2;
 }
@@ -85,6 +94,20 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--coverage") {
             config.coverage = true;
+        } else if (arg == "--mutate") {
+            config.mutate = true;  // implies the guided scheduler
+        } else if (arg == "--mutation-rate") {
+            // Strict: a typo here would silently degenerate the greybox
+            // loop to fresh-seed guided mode.
+            const char* text = value();
+            char* end = nullptr;
+            config.mutation_rate = std::strtod(text, &end);
+            if (end == text || *end != '\0' || config.mutation_rate < 0.0 ||
+                config.mutation_rate > 1.0) {
+                std::fprintf(stderr, "--mutation-rate wants a number in [0,1], got '%s'\n",
+                             text);
+                return 2;
+            }
         } else if (arg == "--soak") {
             soak = true;
             config.coverage = true;  // soaking wants the guided scheduler
@@ -108,6 +131,11 @@ int main(int argc, char** argv) {
         // Soaking therefore overrides --no-localize / --no-minimize.
         config.localize = true;
         config.minimize = true;
+    }
+    if (config.mutate) {
+        // The mutation engine seeds its corpus from the stored recipes; the
+        // same directory a soak appends to is the natural parent pool.
+        config.corpus_dir = corpus_dir;
     }
 
     core::CampaignEngine engine(config);
