@@ -279,18 +279,21 @@ struct WorkerContext {
     std::vector<std::unique_ptr<target::Device>> duts;  // parallel to specs
 
     WorkerContext(const std::string& reference_backend,
-                  const std::vector<BackendSpec>& specs) {
+                  const std::vector<BackendSpec>& specs,
+                  dataplane::Engine engine) {
         reference = target::make_device(reference_backend);
         if (!reference) {
             throw std::invalid_argument("campaign: unknown reference backend '" +
                                         reference_backend + "'");
         }
+        reference->set_engine(engine);
         for (const auto& spec : specs) {
             auto dev = target::make_device(spec.name, spec.quirks);
             if (!dev) {
                 throw std::invalid_argument("campaign: unknown backend '" +
                                             spec.name + "'");
             }
+            dev->set_engine(engine);
             duts.push_back(std::move(dev));
         }
     }
@@ -356,6 +359,7 @@ CampaignReport CampaignEngine::run() {
     report.base_seed = config_.base_seed;
     report.scenarios = config_.scenarios;
     report.programs = gen.programs();
+    report.engine = dataplane::engine_name(config_.engine);
     for (const auto& d : duts) report.backends.push_back(d.label);
     report.coverage_enabled = config_.coverage;
     if (config_.coverage) {
@@ -486,7 +490,7 @@ CampaignReport CampaignEngine::run() {
                 try {
                     if (!contexts[slot]) {
                         contexts[slot] = std::make_unique<WorkerContext>(
-                            config_.reference_backend, duts);
+                            config_.reference_backend, duts, config_.engine);
                     }
                     while (!failed.load(std::memory_order_relaxed)) {
                         const std::uint64_t index = next.fetch_add(1);
@@ -713,6 +717,9 @@ std::string CampaignReport::to_string() const {
         static_cast<unsigned long long>(packets_injected),
         static_cast<unsigned long long>(findings_total), divergences.size(),
         dedup_ratio());
+    if (!engine.empty()) {
+        s += util::format("  engine: %s\n", engine.c_str());
+    }
     if (coverage_enabled) {
         std::uint64_t dut_total = 0;
         for (const auto e : coverage_edges_dut) dut_total += e;
@@ -758,6 +765,7 @@ std::string CampaignReport::to_json() const {
                       static_cast<unsigned long long>(scenarios));
     s += "  \"programs\": " + json_string_array(programs) + ",\n";
     s += "  \"backends\": " + json_string_array(backends) + ",\n";
+    s += "  \"engine\": \"" + json_escape(engine) + "\",\n";
     s += util::format("  \"packets_injected\": %llu,\n",
                       static_cast<unsigned long long>(packets_injected));
     s += util::format("  \"findings_total\": %llu,\n",

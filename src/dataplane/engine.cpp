@@ -1,0 +1,32 @@
+#include "dataplane/engine.h"
+
+#include <cstdlib>
+
+namespace ndb::dataplane {
+
+const char* engine_name(Engine engine) {
+    switch (engine) {
+        case Engine::interpreter: return "interpreter";
+        case Engine::compiled: return "compiled";
+    }
+    return "?";
+}
+
+std::optional<Engine> engine_from_name(std::string_view name) {
+    if (name == "interp" || name == "interpreter") return Engine::interpreter;
+    if (name == "compiled") return Engine::compiled;
+    return std::nullopt;
+}
+
+Engine default_engine() {
+    static const Engine cached = [] {
+        const char* env = std::getenv("NDB_ENGINE");
+        if (env) {
+            if (const auto parsed = engine_from_name(env)) return *parsed;
+        }
+        return Engine::compiled;
+    }();
+    return cached;
+}
+
+}  // namespace ndb::dataplane

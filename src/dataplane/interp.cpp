@@ -101,11 +101,7 @@ Interpreter::Interpreter(const Program& prog, TableSet& tables, StatefulSet& sta
                          Quirks quirks)
     : prog_(prog), tables_(tables), stateful_(stateful), quirks_(quirks) {}
 
-namespace {
-
-// Re-initializes a pooled frame's local slots to zeroes of the declared
-// widths, reusing storage when the widths already line up.
-void reset_locals(Frame& frame, const std::vector<int>& widths) {
+void reset_frame_locals(Frame& frame, std::span<const int> widths) {
     frame.locals.resize(widths.size());
     for (std::size_t i = 0; i < widths.size(); ++i) {
         if (frame.locals[i].width() == widths[i]) {
@@ -116,33 +112,12 @@ void reset_locals(Frame& frame, const std::vector<int>& widths) {
     }
 }
 
-// Pre-order walk assigning every if_stmt a stable ordinal.
-void collect_branches(
-    const std::vector<p4::ir::StmtPtr>& body,
-    std::unordered_map<const p4::ir::Stmt*, std::uint32_t>& ids) {
-    for (const auto& s : body) {
-        if (s->kind != p4::ir::Stmt::Kind::if_stmt) continue;
-        const auto ordinal = static_cast<std::uint32_t>(ids.size());
-        ids.emplace(s.get(), ordinal);
-        collect_branches(s->then_body, ids);
-        collect_branches(s->else_body, ids);
-    }
-}
-
-}  // namespace
-
 void Interpreter::set_coverage(coverage::CoverageMap* map, std::uint64_t salt) {
     coverage_ = map;
     if (!map) return;
     cov_salt_ = coverage::program_salt(prog_.name) ^ salt;
     if (!branch_ids_.empty()) return;
-    // Fixed walk order (ingress, egress, actions by id) keeps the ordinals
-    // a pure function of the program.
-    collect_branches(prog_.ingress.body, branch_ids_);
-    if (prog_.egress) collect_branches(prog_.egress->body, branch_ids_);
-    for (const auto& action : prog_.actions) {
-        collect_branches(action.body, branch_ids_);
-    }
+    branch_ids_ = p4::ir::number_branches(prog_);
 }
 
 Frame& Interpreter::push_frame() {
@@ -162,7 +137,7 @@ void Interpreter::run_control(const p4::ir::Control& control, PacketState& state
     Frame& frame = push_frame();
     const FrameScope scope{*this};
     frame.params.clear();
-    reset_locals(frame, control.local_widths);
+    reset_frame_locals(frame, control.local_widths);
     exec_body(control.body, state, frame);
 }
 
@@ -176,7 +151,7 @@ void Interpreter::run_action(int action_id, std::span<const Bitvec> args,
     Frame& frame = push_frame();
     const FrameScope scope{*this};
     frame.params.assign(args.begin(), args.end());
-    reset_locals(frame, action.local_widths);
+    reset_frame_locals(frame, action.local_widths);
     exec_body(action.body, state, frame);
 }
 
@@ -312,7 +287,8 @@ void Interpreter::exec_extern(const Stmt& s, PacketState& state, Frame& frame) {
         }
         case p4::ir::ExternKind::checksum_update:
             if (!quirks_.skip_checksum_update) {
-                checksum_update(state, s.hash_header, s.checksum_field);
+                checksum_update_field(prog_, state, s.hash_header, s.checksum_field,
+                                      bytes_scratch_);
             }
             return;
         case p4::ir::ExternKind::none:
@@ -320,15 +296,16 @@ void Interpreter::exec_extern(const Stmt& s, PacketState& state, Frame& frame) {
     }
 }
 
-void Interpreter::checksum_update(PacketState& state, int header,
-                                  int checksum_field) {
-    const auto& hdr = prog_.headers.at(static_cast<std::size_t>(header));
+void checksum_update_field(const Program& prog, PacketState& state, int header,
+                           int checksum_field,
+                           std::vector<std::uint8_t>& bytes_scratch) {
+    const auto& hdr = prog.headers.at(static_cast<std::size_t>(header));
     const auto& inst = state.headers.at(static_cast<std::size_t>(header));
     // Serialize the header with the checksum field forced to zero, then take
     // the RFC 1071 checksum of the byte image.  The image is streamed
     // MSB-first into the byte scratch instead of built from O(fields^2)
     // Bitvec concatenations.
-    bytes_scratch_.assign(static_cast<std::size_t>((hdr.size_bits + 7) / 8), 0);
+    bytes_scratch.assign(static_cast<std::size_t>((hdr.size_bits + 7) / 8), 0);
     std::size_t bitpos = 0;  // wire position, MSB-first
     for (std::size_t f = 0; f < hdr.fields.size(); ++f) {
         const int w = hdr.fields[f].width;
@@ -349,14 +326,14 @@ void Interpreter::checksum_update(PacketState& state, int header,
             const std::size_t last = (end + 7) / 8;  // exclusive
             std::uint64_t acc = bits << (8 * last - end);
             for (std::size_t i = last; i-- > first;) {
-                bytes_scratch_[i] |= static_cast<std::uint8_t>(acc);
+                bytes_scratch[i] |= static_cast<std::uint8_t>(acc);
                 acc >>= 8;
             }
             bitpos = end;
             remaining -= chunk;
         }
     }
-    const std::uint16_t csum = packet::internet_checksum(bytes_scratch_);
+    const std::uint16_t csum = packet::internet_checksum(bytes_scratch);
     const int w = hdr.fields[static_cast<std::size_t>(checksum_field)].width;
     state.set({header, checksum_field}, Bitvec(16, csum).resize(w));
 }

@@ -1,6 +1,7 @@
 #include "dataplane/pipeline.h"
 
 #include "coverage/coverage.h"
+#include "dataplane/compile.h"
 #include "dataplane/deparser.h"
 
 namespace ndb::dataplane {
@@ -32,12 +33,30 @@ Pipeline::Pipeline(const p4::ir::Program& prog, TableSet& tables,
       stateful_(stateful),
       options_(options),
       parser_(prog, options.quirks),
-      interp_(prog, tables, stateful, options.quirks) {}
+      interp_(prog, tables, stateful, options.quirks) {
+    if (options_.engine == Engine::compiled) {
+        compiled_ = std::make_unique<CompiledPipeline>(prog_, tables_, stateful_,
+                                                       options_.quirks);
+    }
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::set_engine(Engine engine) {
+    options_.engine = engine;
+    if (engine == Engine::compiled && !compiled_) {
+        compiled_ = std::make_unique<CompiledPipeline>(prog_, tables_, stateful_,
+                                                       options_.quirks);
+        compiled_->set_coverage(coverage_, cov_salt_);
+    }
+}
 
 void Pipeline::set_coverage(coverage::CoverageMap* map, std::uint64_t salt) {
     coverage_ = map;
+    cov_salt_ = salt;
     parser_.set_coverage(map, salt);
     interp_.set_coverage(map, salt);
+    if (compiled_) compiled_->set_coverage(map, salt);
 }
 
 PipelineResult Pipeline::process(const packet::Packet& in) {
@@ -49,7 +68,10 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
                  options_.quirks.metadata_clobber);
     PacketState& state = state_;
 
-    const ParserVerdict verdict = parser_.run(in, state);
+    CompiledPipeline* const compiled =
+        options_.engine == Engine::compiled ? compiled_.get() : nullptr;
+    const ParserVerdict verdict =
+        compiled ? compiled->run_parser(in, state) : parser_.run(in, state);
     result.parser_verdict = verdict;
     switch (verdict) {
         case ParserVerdict::accept:
@@ -82,8 +104,16 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
         }
     }
 
-    interp_.clear_applies();
-    interp_.run_control(prog_.ingress, state);
+    const auto applies = [&]() -> const std::vector<TableApply>& {
+        return compiled ? compiled->applies() : interp_.applies();
+    };
+    if (compiled) {
+        compiled->clear_applies();
+        compiled->run_ingress(state);
+    } else {
+        interp_.clear_applies();
+        interp_.run_control(prog_.ingress, state);
+    }
     if (options_.capture_taps) result.tap_after_ingress = state;
     if (options_.capture_digests) {
         result.stage_hash[1] = hash_packet_state(prog_, state);
@@ -91,7 +121,7 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
     if (state.drop_flagged(prog_)) {
         ++counters_.ingress_dropped;
         result.disposition = Disposition::dropped_ingress;
-        result.applies = interp_.applies();
+        result.applies = applies();
         result.cycles = state.cycles;
         return result;
     }
@@ -101,7 +131,7 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
             result.silent_drop = true;
             result.silent_drop_stage = Stage::ingress;
             result.disposition = Disposition::dropped_ingress;
-            result.applies = interp_.applies();
+            result.applies = applies();
             result.cycles = state.cycles;
             return result;
         }
@@ -113,7 +143,11 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
 
     if (prog_.egress) {
         state.exited = false;
-        interp_.run_control(*prog_.egress, state);
+        if (compiled) {
+            compiled->run_egress(state);
+        } else {
+            interp_.run_control(*prog_.egress, state);
+        }
         if (options_.capture_taps) result.tap_after_egress = state;
         if (options_.capture_digests) {
             result.stage_hash[2] = hash_packet_state(prog_, state);
@@ -121,7 +155,7 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
         if (state.drop_flagged(prog_)) {
             ++counters_.egress_dropped;
             result.disposition = Disposition::dropped_egress;
-            result.applies = interp_.applies();
+            result.applies = applies();
             result.cycles = state.cycles;
             return result;
         }
@@ -132,17 +166,17 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
             result.silent_drop = true;
             result.silent_drop_stage = Stage::egress;
             result.disposition = Disposition::dropped_egress;
-            result.applies = interp_.applies();
+            result.applies = applies();
             result.cycles = state.cycles;
             return result;
         }
     }
 
-    result.output = deparse(prog_, state);
+    result.output = compiled ? compiled->deparse(state) : deparse(prog_, state);
     result.output.meta.egress_port = static_cast<std::uint32_t>(port);
     result.egress_port = static_cast<std::uint32_t>(port);
     result.disposition = Disposition::forwarded;
-    result.applies = interp_.applies();
+    result.applies = applies();
     result.cycles = state.cycles + 1;  // deparser cycle
     ++counters_.forwarded;
     return result;

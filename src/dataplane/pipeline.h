@@ -8,10 +8,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "dataplane/digest.h"
+#include "dataplane/engine.h"
 #include "dataplane/interp.h"
 #include "dataplane/parser_engine.h"
 #include "dataplane/quirks.h"
@@ -26,6 +28,8 @@ class CoverageMap;
 }  // namespace ndb::coverage
 
 namespace ndb::dataplane {
+
+class CompiledPipeline;
 
 enum class Disposition {
     forwarded,
@@ -82,6 +86,7 @@ struct PipelineResult {
 
 struct PipelineOptions {
     Quirks quirks;
+    Engine engine = default_engine();  // which executor runs the stages
     bool capture_taps = false;     // full PacketState copies (replay/localize)
     bool capture_digests = false;  // in-place stage hashes (campaign hot path)
 
@@ -105,8 +110,17 @@ class Pipeline {
 public:
     Pipeline(const p4::ir::Program& prog, TableSet& tables, StatefulSet& stateful,
              PipelineOptions options = {});
+    ~Pipeline();  // out of line: CompiledPipeline is incomplete here
 
     PipelineResult process(const packet::Packet& in);
+
+    // Switches the stage executor.  The compiled image is built lazily on
+    // first use and kept; switching back and forth recompiles nothing.
+    // Everything around the stages (counters, taps, digests, hooks, traffic
+    // manager, deparser) is shared orchestration in process(), so only the
+    // stage execution itself changes engine.
+    void set_engine(Engine engine);
+    Engine engine() const { return options_.engine; }
 
     const p4::ir::Program& program() const { return prog_; }
     const StageCounters& counters() const { return counters_; }
@@ -128,8 +142,10 @@ private:
     PipelineOptions options_;
     ParserEngine parser_;
     Interpreter interp_;
+    std::unique_ptr<CompiledPipeline> compiled_;  // lazily built threaded code
     StageCounters counters_;
     coverage::CoverageMap* coverage_ = nullptr;
+    std::uint64_t cov_salt_ = 0;  // remembered for late engine switches
     // Per-packet execution state, reset in place each process() call so the
     // steady-state hot path performs no per-packet allocation.
     PacketState state_;

@@ -816,15 +816,7 @@ void TableSet::set_default_action(int table_id, ActionEntry entry) {
 
 const ActionEntry& TableSet::lookup(int table_id, std::span<const Bitvec> keys,
                                     bool& hit) {
-    auto& slot = slots_.at(static_cast<std::size_t>(table_id));
-    if (const ActionEntry* found = slot.engine->lookup(keys)) {
-        hit = true;
-        ++slot.stats.hits;
-        return *found;
-    }
-    hit = false;
-    ++slot.stats.misses;
-    return slot.default_action;
+    return lookup_slot(slots_.at(static_cast<std::size_t>(table_id)), keys, hit);
 }
 
 const TableSet::Stats& TableSet::stats(int table_id) const {

@@ -93,6 +93,16 @@ public:
     // `size_clamp` models vendor table-capacity limits (0 = none).
     TableSet(const p4::ir::Program& prog, int size_clamp, bool inverted_priority);
 
+    // One table's engine plus its default action and statistics.  Exposed so
+    // the compiled pipeline can resolve a table id to a stable handle once at
+    // compile time and skip the per-lookup id indirection.
+    struct Slot {
+        std::unique_ptr<MatchEngine> engine;
+        ActionEntry default_action;
+        Stats stats;
+        std::size_t capacity = 0;
+    };
+
     InsertStatus insert(int table_id, const TableEntry& entry);
     bool erase(int table_id, const TableEntry& entry);
     void set_default_action(int table_id, ActionEntry entry);
@@ -102,6 +112,27 @@ public:
     // until the table is next mutated.
     const ActionEntry& lookup(int table_id, std::span<const Bitvec> keys, bool& hit);
 
+    // Stable per-table handle: slots_ never resizes after construction, so
+    // the pointer stays valid (and tracks entry/default-action updates) for
+    // the TableSet's lifetime.
+    Slot* slot_ptr(int table_id) {
+        return &slots_.at(static_cast<std::size_t>(table_id));
+    }
+
+    // lookup() against a resolved handle; identical semantics (hit/miss
+    // statistics, default-action fallback) with the id lookup hoisted out.
+    static const ActionEntry& lookup_slot(Slot& slot, std::span<const Bitvec> keys,
+                                          bool& hit) {
+        if (const ActionEntry* found = slot.engine->lookup(keys)) {
+            hit = true;
+            ++slot.stats.hits;
+            return *found;
+        }
+        hit = false;
+        ++slot.stats.misses;
+        return slot.default_action;
+    }
+
     const Stats& stats(int table_id) const;
     std::size_t entry_count(int table_id) const;
     std::size_t capacity(int table_id) const;
@@ -109,12 +140,6 @@ public:
     void reset_stats();
 
 private:
-    struct Slot {
-        std::unique_ptr<MatchEngine> engine;
-        ActionEntry default_action;
-        Stats stats;
-        std::size_t capacity = 0;
-    };
     std::vector<Slot> slots_;
 };
 

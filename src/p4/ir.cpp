@@ -332,4 +332,29 @@ std::string Program::to_string() const {
     return s;
 }
 
+namespace {
+
+void collect_branches(const std::vector<StmtPtr>& body,
+                      std::unordered_map<const Stmt*, std::uint32_t>& ids) {
+    for (const auto& s : body) {
+        if (s->kind != Stmt::Kind::if_stmt) continue;
+        const auto ordinal = static_cast<std::uint32_t>(ids.size());
+        ids.emplace(s.get(), ordinal);
+        collect_branches(s->then_body, ids);
+        collect_branches(s->else_body, ids);
+    }
+}
+
+}  // namespace
+
+std::unordered_map<const Stmt*, std::uint32_t> number_branches(const Program& prog) {
+    std::unordered_map<const Stmt*, std::uint32_t> ids;
+    collect_branches(prog.ingress.body, ids);
+    if (prog.egress) collect_branches(prog.egress->body, ids);
+    for (const auto& action : prog.actions) {
+        collect_branches(action.body, ids);
+    }
+    return ids;
+}
+
 }  // namespace ndb::p4::ir

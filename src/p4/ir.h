@@ -7,9 +7,11 @@
 // widths are resolved; expressions are typed; header instances are flat.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "p4/ast.h"
@@ -283,5 +285,12 @@ struct Program {
 
 // Value of egress_spec that marks a packet for drop.
 inline constexpr std::uint64_t kDropPort = 511;
+
+// Stable pre-order ordinal for every if_stmt in the program, walking
+// ingress, then egress, then actions by id.  Both execution engines (the
+// tree-walking interpreter and the threaded-code compiler) derive their
+// branch-coverage slots from this single walk, so the ordinals can never
+// drift between them.
+std::unordered_map<const Stmt*, std::uint32_t> number_branches(const Program& prog);
 
 }  // namespace ndb::p4::ir

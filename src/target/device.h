@@ -59,6 +59,10 @@ struct DeviceConfig {
 
     // Backend behaviour deviations; all-defaults = faithful P4 semantics.
     dataplane::Quirks quirks;
+
+    // Which executor runs the pipeline stages (semantically identical by
+    // construction; see src/dataplane/engine.h).
+    dataplane::Engine engine = dataplane::default_engine();
 };
 
 // One traced packet: the stimulus as injected plus everything the pipeline
@@ -143,6 +147,14 @@ public:
     // campaign scheduler treats their (never-written) maps as zero delta.
     virtual void set_coverage(coverage::CoverageMap* /*map*/) {}
     virtual coverage::CoverageMap* coverage() const { return nullptr; }
+
+    // Execution-engine selection, same no-op default contract as
+    // set_coverage(): backends that only have one executor ignore it and
+    // report Engine::interpreter.  On SimDevice the setting survives load().
+    virtual void set_engine(dataplane::Engine /*engine*/) {}
+    virtual dataplane::Engine engine() const {
+        return dataplane::Engine::interpreter;
+    }
 
     // Deterministic virtual device clock.
     virtual std::uint64_t now_ns() const = 0;

@@ -51,6 +51,8 @@ public:
     }
     void set_coverage(coverage::CoverageMap* map) override;
     coverage::CoverageMap* coverage() const override { return coverage_; }
+    void set_engine(dataplane::Engine engine) override;
+    dataplane::Engine engine() const override { return config_.engine; }
     std::uint64_t now_ns() const override { return clock_ns_; }
 
     // control::RuntimeApi.

@@ -165,11 +165,6 @@ void Bitvec::normalize() {
     words()[word_count() - 1] &= top_mask(width_);
 }
 
-void Bitvec::zero() {
-    std::uint64_t* w = words();
-    for (int i = 0; i < word_count(); ++i) w[i] = 0;
-}
-
 bool Bitvec::fits_u64() const {
     const std::uint64_t* w = words();
     for (int i = 1; i < word_count(); ++i) {

@@ -64,7 +64,12 @@ public:
     void set_bit(int i, bool v);
 
     // Zeroes the value in place, keeping width and storage.
-    void zero();
+    // Hot in per-packet state reset: every header field is re-zeroed before
+    // each parse, so this stays inline (one store for inline-width values).
+    void zero() {
+        std::uint64_t* w = words();
+        for (int i = 0; i < word_count(); ++i) w[i] = 0;
+    }
 
     // Big-endian image, ceil(width/8) bytes.
     std::vector<std::uint8_t> to_bytes() const;

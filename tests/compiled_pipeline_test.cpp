@@ -1,0 +1,253 @@
+// Threaded-code engine acceptance: the CompiledPipeline must be a drop-in
+// replacement for the tree-walking oracle.
+//
+//   * compiler determinism -- the same (IR, quirks) always lowers to the
+//     byte-identical instruction stream (the image is pointer-free);
+//   * interp-vs-compiled differential -- every catalogue program under
+//     every quirk-matrix flag and every committed corpus seed produces
+//     identical outputs, tap digests, stage/port counters and coverage
+//     maps on both engines;
+//   * campaign equivalence -- a full mutate-mode campaign report is
+//     byte-identical across engines apart from its provenance field.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/generator.h"
+#include "core/specgen.h"
+#include "coverage/coverage.h"
+#include "dataplane/compile.h"
+#include "target/device.h"
+#include "quirk_fixture.h"
+
+#ifndef NDB_CORPUS_DIR
+#error "NDB_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace {
+
+using namespace ndb;
+using dataplane::Engine;
+
+constexpr std::uint64_t kEpochNs = 1'000'000;
+constexpr std::uint64_t kSlotNs = 672;
+
+// The quirk matrix: faithful semantics plus each of the seven catalogue
+// flags in isolation (same values as the acceptance fixture).
+std::vector<std::pair<std::string, dataplane::Quirks>> quirk_matrix() {
+    std::vector<std::pair<std::string, dataplane::Quirks>> out;
+    out.emplace_back("none", dataplane::Quirks{});
+    for (const auto& spec : ndb_test::seven_flag_fixture().duts) {
+        out.emplace_back(spec.label, *spec.quirks);
+    }
+    return out;
+}
+
+// Programs worth sweeping: the default fuzzable catalogue plus every
+// program the seven-flag fixture pairs with a quirk.
+std::vector<std::string> sweep_programs() {
+    std::vector<std::string> out = core::SpecGenerator::default_programs();
+    for (const auto& name : ndb_test::seven_flag_fixture().programs) {
+        if (std::find(out.begin(), out.end(), name) == out.end()) {
+            out.push_back(name);
+        }
+    }
+    return out;
+}
+
+// Every seed committed to the regression corpus, plus a few fixed ones so
+// the sweep never goes empty on a trimmed checkout.
+std::vector<std::uint64_t> sweep_seeds() {
+    std::set<std::uint64_t> seeds = {1, 7, 42};
+    for (const auto& file :
+         std::filesystem::directory_iterator(NDB_CORPUS_DIR)) {
+        if (file.path().extension() != ".corpus") continue;
+        std::ifstream in(file.path());
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.rfind("seed=", 0) == 0) {
+                seeds.insert(std::stoull(line.substr(5)));
+            }
+        }
+    }
+    return {seeds.begin(), seeds.end()};
+}
+
+// Everything one engine run observably produces.
+struct Observation {
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> outputs;
+    std::vector<dataplane::TapDigest> digests;
+    coverage::CoverageMap coverage;
+    std::string snapshot;
+};
+
+Observation run_scenario(const core::Scenario& sc, Engine engine,
+                         const dataplane::Quirks& quirks) {
+    target::DeviceConfig dc;
+    dc.quirks = quirks;
+    dc.engine = engine;  // load()-time selection, not set_engine()
+    auto dev = target::make_reference_device(std::move(dc));
+    EXPECT_EQ(dev->engine(), engine);
+
+    Observation obs;
+    dev->set_coverage(&obs.coverage);
+    dev->set_digests_enabled(true);
+    EXPECT_TRUE(dev->load(*sc.compiled).ok);
+    for (const auto& op : sc.config) core::apply_config_op(*dev, op);
+
+    core::TestPacketGenerator pgen(sc.spec);
+    std::vector<packet::Packet> drained;
+    for (std::uint64_t seq = 1; seq <= sc.spec.count; ++seq) {
+        dev->inject(pgen.make_packet(seq, kEpochNs + (seq - 1) * kSlotNs));
+        for (int p = 0; p < dev->config().num_ports; ++p) {
+            drained.clear();
+            dev->drain_port_into(static_cast<std::uint32_t>(p), drained);
+            for (const auto& pkt : drained) {
+                const auto bytes = pkt.bytes();
+                obs.outputs.emplace_back(
+                    static_cast<std::uint32_t>(p),
+                    std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+            }
+        }
+    }
+    obs.digests = dev->take_digest_records();
+    obs.snapshot = dev->snapshot().to_string();
+    return obs;
+}
+
+TEST(CompiledProgram, CompilationIsDeterministic) {
+    for (const auto& name : sweep_programs()) {
+        SCOPED_TRACE(name);
+        const core::SpecGenerator gen({name});
+        const core::Scenario sc = gen.make(/*seed=*/1);
+        for (const auto& [label, quirks] : quirk_matrix()) {
+            SCOPED_TRACE(label);
+            const auto a = dataplane::compile(*sc.compiled, quirks);
+            const auto b = dataplane::compile(*sc.compiled, quirks);
+            ASSERT_FALSE(a.code.empty());
+            EXPECT_TRUE(a == b) << "same (IR, quirks) compiled to different "
+                                   "instruction streams";
+            EXPECT_EQ(a.disassemble(), b.disassemble());
+        }
+    }
+}
+
+TEST(CompiledProgram, QuirksChangeTheImageOnlyWhenTheyChangeSemantics) {
+    const core::SpecGenerator gen({"shift_mangler"});
+    const core::Scenario sc = gen.make(/*seed=*/1);
+    dataplane::Quirks miscompiled;
+    miscompiled.shift_miscompile = true;
+    const auto faithful = dataplane::compile(*sc.compiled, {});
+    const auto quirked = dataplane::compile(*sc.compiled, miscompiled);
+    EXPECT_FALSE(faithful == quirked)
+        << "shift_miscompile must be baked into the instruction stream";
+    // A purely runtime quirk leaves the image untouched.
+    dataplane::Quirks runtime_only;
+    runtime_only.reject_as_accept = true;
+    EXPECT_TRUE(faithful == dataplane::compile(*sc.compiled, runtime_only));
+}
+
+// The tentpole acceptance sweep: all catalogue programs x the full quirk
+// matrix x every corpus seed, asserting engine-identical observations.
+TEST(CompiledDifferential, MatchesInterpreterOverCatalogueQuirksAndSeeds) {
+    const auto programs = sweep_programs();
+    const auto matrix = quirk_matrix();
+    const auto seeds = sweep_seeds();
+    ASSERT_GE(seeds.size(), 3u);
+
+    for (const auto& name : programs) {
+        const core::SpecGenerator gen({name});
+        for (const std::uint64_t seed : seeds) {
+            const core::Scenario sc = gen.make(seed);
+            for (const auto& [label, quirks] : matrix) {
+                SCOPED_TRACE(name + "/" + label + "/seed=" +
+                             std::to_string(seed));
+                const Observation interp =
+                    run_scenario(sc, Engine::interpreter, quirks);
+                const Observation compiled =
+                    run_scenario(sc, Engine::compiled, quirks);
+                ASSERT_EQ(interp.outputs, compiled.outputs);
+                ASSERT_EQ(interp.digests.size(), compiled.digests.size());
+                for (std::size_t i = 0; i < interp.digests.size(); ++i) {
+                    ASSERT_TRUE(interp.digests[i] == compiled.digests[i])
+                        << "tap digest " << i << " diverged";
+                }
+                ASSERT_EQ(interp.snapshot, compiled.snapshot);
+                ASSERT_TRUE(interp.coverage == compiled.coverage)
+                    << "coverage maps diverged";
+            }
+        }
+    }
+}
+
+TEST(CompiledDifferential, EngineSwitchSurvivesLoadAndAgreesMidstream) {
+    const core::SpecGenerator gen({"ipv4_router"});
+    const core::Scenario sc = gen.make(/*seed=*/3);
+
+    auto dev = target::make_reference_device({});
+    dev->set_engine(Engine::compiled);
+    ASSERT_TRUE(dev->load(*sc.compiled).ok);
+    EXPECT_EQ(dev->engine(), Engine::compiled);  // survived the load()
+    for (const auto& op : sc.config) core::apply_config_op(*dev, op);
+
+    core::TestPacketGenerator pgen(sc.spec);
+    const packet::Packet probe = pgen.make_packet(1, kEpochNs);
+
+    const auto outputs_once = [&](Engine engine) {
+        dev->set_engine(engine);
+        dev->flush();
+        dev->inject(probe);
+        std::vector<std::vector<std::uint8_t>> out;
+        for (int p = 0; p < dev->config().num_ports; ++p) {
+            for (const auto& pkt :
+                 dev->drain_port(static_cast<std::uint32_t>(p))) {
+                const auto bytes = pkt.bytes();
+                out.emplace_back(bytes.begin(), bytes.end());
+            }
+        }
+        return out;
+    };
+    // Same device, same loaded image, flipped engine mid-stream: identical
+    // forwarding behaviour (stateful externs see an identical history).
+    EXPECT_EQ(outputs_once(Engine::compiled), outputs_once(Engine::interpreter));
+    EXPECT_EQ(outputs_once(Engine::interpreter), outputs_once(Engine::compiled));
+}
+
+TEST(CompiledDifferential, MutateCampaignReportByteIdenticalAcrossEngines) {
+    const ndb_test::FlagFixture fx = ndb_test::seven_flag_fixture();
+
+    const auto run_with = [&](Engine engine) {
+        core::CampaignConfig cfg;
+        cfg.base_seed = 11;
+        cfg.scenarios = 24;
+        cfg.threads = 2;
+        cfg.mutate = true;  // implies coverage-guided scheduling
+        cfg.corpus_dir = NDB_CORPUS_DIR;
+        ndb_test::apply_fixture(fx, cfg);
+        cfg.engine = engine;
+        core::CampaignEngine campaign(cfg);
+        return campaign.run();
+    };
+
+    const core::CampaignReport interp = run_with(Engine::interpreter);
+    const core::CampaignReport compiled = run_with(Engine::compiled);
+    EXPECT_EQ(interp.engine, "interpreter");
+    EXPECT_EQ(compiled.engine, "compiled");
+
+    // The reports must agree byte for byte once the one provenance field is
+    // equalized.
+    std::string a = interp.to_json();
+    const std::string needle = "\"engine\": \"interpreter\"";
+    const auto pos = a.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    a.replace(pos, needle.size(), "\"engine\": \"compiled\"");
+    EXPECT_EQ(a, compiled.to_json());
+}
+
+}  // namespace

@@ -91,7 +91,20 @@ std::vector<CorpusEntry> load_corpus() {
     return entries;
 }
 
-TEST(CorpusReplay, EveryKnownDivergenceStillTriggers) {
+// Parameterized over the execution engine: every committed corpus entry
+// must replay identically through the tree-walking interpreter and the
+// threaded-code CompiledPipeline.
+class CorpusReplay : public ::testing::TestWithParam<dataplane::Engine> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, CorpusReplay,
+                         ::testing::Values(dataplane::Engine::interpreter,
+                                           dataplane::Engine::compiled),
+                         [](const auto& info) {
+                             return std::string(
+                                 dataplane::engine_name(info.param));
+                         });
+
+TEST_P(CorpusReplay, EveryKnownDivergenceStillTriggers) {
     const std::vector<CorpusEntry> corpus = load_corpus();
     ASSERT_FALSE(corpus.empty()) << "empty corpus dir: " << NDB_CORPUS_DIR;
 
@@ -105,6 +118,7 @@ TEST(CorpusReplay, EveryKnownDivergenceStillTriggers) {
         config.threads = 1;
         config.programs = {entry.program};
         config.duts = {core::BackendSpec{entry.backend, quirks, "dut"}};
+        config.engine = GetParam();
         config.mutation_recipe = entry.mutate;  // "" = fresh-seed replay
         core::CampaignEngine engine(config);
         const core::CampaignReport report = engine.run();

@@ -228,8 +228,7 @@ TEST(GuidedCampaign, FindsAllSevenFingerprintsWithinUniformBudget) {
     uniform.base_seed = 1;
     uniform.scenarios = 128;
     uniform.threads = 2;
-    uniform.programs = fx.programs;
-    uniform.duts = fx.duts;
+    ndb_test::apply_fixture(fx, uniform);
     core::CampaignEngine uniform_engine(uniform);
     const core::CampaignReport uniform_report = uniform_engine.run();
 

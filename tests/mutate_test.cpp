@@ -313,8 +313,7 @@ TEST(MutateCampaign, FindsAllSevenWithinGuidedBudgetAndDutCoverageContributes) {
     guided.base_seed = 1;
     guided.scenarios = 128;
     guided.threads = 2;
-    guided.programs = fx.programs;
-    guided.duts = fx.duts;
+    ndb_test::apply_fixture(fx, guided);
     guided.coverage = true;
     core::CampaignEngine guided_engine(guided);
     const core::CampaignReport guided_report = guided_engine.run();

@@ -8,18 +8,21 @@
 //
 //   * pipeline  -- packets/sec through the reference device for every
 //                  fuzzable catalogue program (config applied once, the
-//                  scenario's packet stream replayed in batches), plus a
-//                  second coverage-instrumented pass and the derived
-//                  coverage-overhead row (the cost of the CoverageMap
-//                  hooks when enabled);
+//                  scenario's packet stream replayed in batches), run once
+//                  per execution engine (threaded-code compiled vs the
+//                  tree-walking interpreter oracle, with the per-program
+//                  compiled_speedup ratio), plus a coverage-instrumented
+//                  compiled pass and the derived coverage-overhead row
+//                  (the cost of the CoverageMap hooks when enabled);
 //   * tables    -- lookups/sec per match-engine kind on populated engines
 //                  (1k-entry exact, 1k-prefix LPM, 256-row ternary);
 //   * campaign  -- scenarios/sec and packets/sec of a bounded differential
 //                  campaign sweep (the end-to-end number CI tracks).
 //
 // --baseline FILE compares the run against committed reference numbers and
-// exits non-zero when pipeline packets/sec regresses by more than 30%, so
-// CI catches hot-path regressions without flaking on machine variance.
+// exits non-zero when pipeline packets/sec (either engine) regresses by
+// more than 30%, so CI catches hot-path regressions without flaking on
+// machine variance.
 // --coverage-gate PCT additionally fails the run when the enabled-coverage
 // pass costs more than PCT percent of aggregate pipeline throughput.
 #include <chrono>
@@ -35,6 +38,7 @@
 #include "core/generator.h"
 #include "core/specgen.h"
 #include "coverage/coverage.h"
+#include "dataplane/engine.h"
 #include "dataplane/tables.h"
 #include "target/device.h"
 #include "util/strings.h"
@@ -57,11 +61,20 @@ struct ProgramBench {
     double pps = 0;
 };
 
+// Per-program engine comparison: the compiled number is the headline, the
+// interpreter number is the oracle's cost, the ratio is the payoff.
+struct ProgramRow {
+    ProgramBench compiled;
+    ProgramBench interp;
+    double speedup = 0;
+};
+
 // Replays one catalogue scenario's packet stream through a reference device
 // until ~`target_packets` injections have happened; returns packets/sec.
 // When `coverage` is non-null the device streams execution edges into it
 // (the instrumented pass the coverage-overhead row is derived from).
 ProgramBench bench_program(const std::string& name, std::uint64_t target_packets,
+                           ndb::dataplane::Engine engine,
                            ndb::coverage::CoverageMap* coverage = nullptr) {
     ndb::core::SpecGenerator gen({name});
     const ndb::core::Scenario sc = gen.make(/*seed=*/42);
@@ -71,6 +84,7 @@ ProgramBench bench_program(const std::string& name, std::uint64_t target_packets
         std::fprintf(stderr, "bench: cannot set up program '%s'\n", name.c_str());
         std::exit(1);
     }
+    dev->set_engine(engine);
     dev->set_coverage(coverage);
     for (const auto& op : sc.config) ndb::core::apply_config_op(*dev, op);
 
@@ -281,25 +295,49 @@ int main(int argc, char** argv) {
     // slowdown on a noisy CI runner lands on both sums instead of
     // masquerading as instrumentation cost.
     ndb::coverage::CoverageMap coverage_map;
-    std::vector<ProgramBench> programs;
+    std::vector<ProgramRow> programs;
     std::uint64_t total_packets = 0;
     double total_seconds = 0;
+    std::uint64_t interp_packets = 0;
+    double interp_seconds = 0;
     std::uint64_t cov_packets = 0;
     double cov_seconds = 0;
     for (const auto& name : ndb::core::SpecGenerator::default_programs()) {
-        ProgramBench b = bench_program(name, packets);
-        std::printf("pipeline  %-16s %9.0f pkts/sec\n", b.name.c_str(), b.pps);
-        total_packets += b.packets;
-        total_seconds += b.seconds;
-        programs.push_back(std::move(b));
+        // Interleave the three passes per program (compiled, interpreter,
+        // compiled+coverage) so runner noise lands on all sums at once.
+        ProgramRow row;
+        row.compiled =
+            bench_program(name, packets, ndb::dataplane::Engine::compiled);
+        // The interpreter is ~an order of magnitude slower; a smaller target
+        // keeps wall time sane while its pps stays a valid rate.
+        row.interp = bench_program(name, packets / 8 + 1,
+                                   ndb::dataplane::Engine::interpreter);
+        row.speedup =
+            row.interp.pps > 0 ? row.compiled.pps / row.interp.pps : 0;
+        std::printf("pipeline  %-16s %9.0f pkts/sec compiled, %9.0f interp "
+                    "(x%.1f)\n",
+                    name.c_str(), row.compiled.pps, row.interp.pps, row.speedup);
+        total_packets += row.compiled.packets;
+        total_seconds += row.compiled.seconds;
+        interp_packets += row.interp.packets;
+        interp_seconds += row.interp.seconds;
+        programs.push_back(std::move(row));
 
-        const ProgramBench cov = bench_program(name, packets, &coverage_map);
+        const ProgramBench cov = bench_program(
+            name, packets, ndb::dataplane::Engine::compiled, &coverage_map);
         cov_packets += cov.packets;
         cov_seconds += cov.seconds;
     }
     const double pipeline_pps =
         total_seconds > 0 ? static_cast<double>(total_packets) / total_seconds : 0;
-    std::printf("pipeline  %-16s %9.0f pkts/sec\n", "(aggregate)", pipeline_pps);
+    const double pipeline_pps_interp =
+        interp_seconds > 0 ? static_cast<double>(interp_packets) / interp_seconds
+                           : 0;
+    const double compiled_speedup =
+        pipeline_pps_interp > 0 ? pipeline_pps / pipeline_pps_interp : 0;
+    std::printf("pipeline  %-16s %9.0f pkts/sec compiled, %9.0f interp (x%.1f)\n",
+                "(aggregate)", pipeline_pps, pipeline_pps_interp,
+                compiled_speedup);
 
     const double coverage_pps =
         cov_seconds > 0 ? static_cast<double>(cov_packets) / cov_seconds : 0;
@@ -331,18 +369,22 @@ int main(int argc, char** argv) {
     std::string json = "{\n";
     json += "  \"bench\": \"pipeline\",\n";
     json += format("  \"pipeline_pps\": %.1f,\n", pipeline_pps);
+    json += format("  \"pipeline_pps_interp\": %.1f,\n", pipeline_pps_interp);
+    json += format("  \"compiled_speedup\": %.2f,\n", compiled_speedup);
     json += format("  \"pipeline_coverage_pps\": %.1f,\n", coverage_pps);
     json += format("  \"coverage_overhead_pct\": %.2f,\n", coverage_overhead_pct);
     json += format("  \"coverage_edges\": %zu,\n", coverage_map.edges_covered());
     json += "  \"programs\": [";
     for (std::size_t i = 0; i < programs.size(); ++i) {
-        const auto& b = programs[i];
+        const auto& row = programs[i];
         json += i ? ",\n    " : "\n    ";
         json += format("{\"name\": \"%s\", \"packets\": %llu, "
-                       "\"seconds\": %.6f, \"pps\": %.1f}",
-                       b.name.c_str(),
-                       static_cast<unsigned long long>(b.packets), b.seconds,
-                       b.pps);
+                       "\"seconds\": %.6f, \"pps\": %.1f, "
+                       "\"pps_interp\": %.1f, \"compiled_speedup\": %.2f}",
+                       row.compiled.name.c_str(),
+                       static_cast<unsigned long long>(row.compiled.packets),
+                       row.compiled.seconds, row.compiled.pps, row.interp.pps,
+                       row.speedup);
     }
     json += "\n  ],\n";
     json += "  \"tables\": [";
@@ -402,6 +444,23 @@ int main(int argc, char** argv) {
                          "(%.0f < %.0f)\n",
                          pipeline_pps, floor);
             return 1;
+        }
+        // Gate the oracle too when the baseline carries its floor: the
+        // interpreter stays the semantic reference and must not quietly rot.
+        double base_interp = 0;
+        if (json_number(doc, "pipeline_pps_interp", base_interp) &&
+            base_interp > 0) {
+            const double interp_floor = base_interp * 0.7;
+            std::printf("baseline gate: pipeline_pps_interp %.0f vs committed "
+                        "%.0f (floor %.0f)\n",
+                        pipeline_pps_interp, base_interp, interp_floor);
+            if (pipeline_pps_interp < interp_floor) {
+                std::fprintf(stderr,
+                             "FAIL: interpreter packets/sec regressed more "
+                             "than 30%% (%.0f < %.0f)\n",
+                             pipeline_pps_interp, interp_floor);
+                return 1;
+            }
         }
     }
 
