@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -14,10 +15,12 @@
 #include "core/generator.h"
 #include "core/mutate.h"
 #include "coverage/coverage.h"
+#include "coverage/edge_index.h"
 #include "coverage/scheduler.h"
 #include "target/device.h"
 #include "util/random.h"
 #include "util/strings.h"
+#include "verify/concolic.h"
 
 namespace ndb::core {
 
@@ -351,7 +354,8 @@ CampaignReport CampaignEngine::run() {
         if (d.label.empty()) d.label = d.name;
     }
 
-    if (config_.mutate) config_.coverage = true;  // mutants need the scheduler
+    if (config_.mutate) config_.coverage = true;    // mutants need the scheduler
+    if (config_.concolic) config_.coverage = true;  // synthesis needs the map
 
     const SpecGenerator gen(config_.programs);
 
@@ -362,6 +366,7 @@ CampaignReport CampaignEngine::run() {
     report.engine = dataplane::engine_name(config_.engine);
     for (const auto& d : duts) report.backends.push_back(d.label);
     report.coverage_enabled = config_.coverage;
+    report.concolic_enabled = config_.concolic;
     if (config_.coverage) {
         report.coverage_map_slots = coverage::CoverageMap::kSlots;
         report.coverage_edges_dut.assign(duts.size(), 0);
@@ -543,18 +548,26 @@ CampaignReport CampaignEngine::run() {
 
     const auto t0 = std::chrono::steady_clock::now();
     if (!config_.mutation_recipe.empty()) {
-        // Single-recipe replay: run exactly the recorded mutant through the
-        // ordinary detection/triage path.  This is how a mutated corpus
-        // entry (or a report's parentage recipe) reproduces its divergence.
-        const auto parsed = MutationRecipe::parse(config_.mutation_recipe);
-        if (!parsed) {
-            throw std::invalid_argument("campaign: unparseable mutation recipe '" +
+        // Single-recipe replay: run exactly the recorded scenario through
+        // the ordinary detection/triage path.  This is how a mutated or
+        // concolically synthesized corpus entry (or a report's parentage
+        // recipe) reproduces its divergence.  The two recipe grammars are
+        // mutually unparseable ('#' vs '@' head), so trying concolic first
+        // can never misread a mutation recipe.
+        const Mutator mutator(gen);
+        Scenario sc;
+        if (const auto conc = ConcolicRecipe::parse(config_.mutation_recipe)) {
+            sc = mutator.apply_concolic(*conc);
+            report.scenarios_concolic = 1;
+        } else if (const auto parsed =
+                       MutationRecipe::parse(config_.mutation_recipe)) {
+            sc = mutator.apply(*parsed);
+            report.scenarios_mutated = 1;
+        } else {
+            throw std::invalid_argument("campaign: unparseable recipe '" +
                                         config_.mutation_recipe + "'");
         }
-        const Mutator mutator(gen);
-        const Scenario sc = mutator.apply(*parsed);
         report.scenarios = 1;
-        report.scenarios_mutated = 1;
         std::vector<ScenarioOutcome> outcomes(1);
         run_pool(1, [&](WorkerContext& ctx, std::uint64_t) {
             run_one(ctx, sc, outcomes[0], config_.mutation_recipe);
@@ -574,6 +587,7 @@ CampaignReport CampaignEngine::run() {
             report.coverage_edges =
                 static_cast<std::uint64_t>(global.edges_covered());
             report.coverage_series.push_back({1, report.coverage_edges});
+            if (config_.coverage_map_out) *config_.coverage_map_out = global;
         }
     } else if (!config_.coverage) {
         // Uniform sweep: every seed in [base, base + scenarios) once.
@@ -602,7 +616,45 @@ CampaignReport CampaignEngine::run() {
             std::uint64_t seed = 0;
             std::string recipe_text;  // empty = fresh seed
             MutationRecipe recipe;    // valid when recipe_text is non-empty
+            bool is_concolic = false;
+            ConcolicRecipe concolic;  // valid when is_concolic
         };
+        // Concolic synthesis state, per catalogue program, built lazily the
+        // first time a program's dark sites are attempted.  `attempted`
+        // remembers every slot ever handed to the solver so a hard target
+        // is not re-solved at each barrier.
+        struct ConcolicState {
+            std::shared_ptr<const p4::ir::Program> compiled;
+            std::unique_ptr<coverage::EdgeIndex> index;
+            std::unique_ptr<verify::ConcolicSynthesizer> synth;
+            std::set<std::uint32_t> attempted;
+        };
+        std::vector<ConcolicState> concolic_states(
+            config_.concolic ? gen.programs().size() : 0);
+        // Seeds synthesized at one barrier, scheduled ahead of the next
+        // round's plan.
+        struct PendingSeed {
+            std::size_t program = 0;
+            ConcolicRecipe recipe;
+        };
+        std::vector<PendingSeed> pending;
+        // Relight oracle: a dedicated reference instance pinned to the
+        // interpreter (the engine whose semantics the verify layer models).
+        // Its salt is what EdgeIndex must be built with -- the campaign's
+        // own reference devices fold the identical salt into their maps, so
+        // "dark in `global`" and "dark for this oracle" agree.
+        std::unique_ptr<target::Device> oracle;
+        std::uint64_t ref_salt = 0;
+        if (config_.concolic) {
+            oracle = target::make_device(config_.reference_backend);
+            if (!oracle) {
+                throw std::invalid_argument(
+                    "campaign: unknown reference backend '" +
+                    config_.reference_backend + "'");
+            }
+            oracle->set_engine(dataplane::Engine::interpreter);
+            ref_salt = oracle->coverage_salt();
+        }
         const std::uint64_t round_cap =
             std::max<std::uint64_t>(8, 2 * gen.programs().size());
         std::uint64_t done = 0;
@@ -610,9 +662,29 @@ CampaignReport CampaignEngine::run() {
         while (done < config_.scenarios) {
             const std::uint64_t round =
                 std::min(config_.scenarios - done, round_cap);
-            const std::vector<std::uint64_t> plan = scheduler.plan_round(round);
             std::vector<GuidedSlot> slots;
             slots.reserve(static_cast<std::size_t>(round));
+            // Synthesized seeds first: they were solved specifically to
+            // light still-dark slots, so they outrank anything the
+            // scheduler would plan.  Each consumes one slot of the round's
+            // budget; its "seed" is the target slot id (that is what
+            // replays it via the corpus).
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(pending.size(), round));
+            for (std::size_t i = 0; i < take; ++i) {
+                GuidedSlot slot;
+                slot.program = pending[i].program;
+                slot.seed = pending[i].recipe.slot;
+                slot.is_concolic = true;
+                slot.concolic = std::move(pending[i].recipe);
+                slot.recipe_text = slot.concolic.encode();
+                slots.push_back(std::move(slot));
+            }
+            pending.erase(pending.begin(),
+                          pending.begin() + static_cast<std::ptrdiff_t>(take));
+            report.scenarios_concolic += take;
+            const std::vector<std::uint64_t> plan =
+                scheduler.plan_round(round - take);
             for (std::size_t p = 0; p < plan.size(); ++p) {
                 for (std::uint64_t k = 0; k < plan[p]; ++k) {
                     GuidedSlot slot;
@@ -623,11 +695,20 @@ CampaignReport CampaignEngine::run() {
                     // the slot seed, so the mix is schedule-independent.
                     if (config_.mutate) {
                         const auto& pool = corpus.entries(gen.programs()[p]);
-                        if (!pool.empty()) {
+                        // Concolic entries replay whole, never as mutation
+                        // parents: their packet is a solver model with no
+                        // field plan for havoc ops to perturb (and their
+                        // recipe text is not a MutationRecipe chain).
+                        std::vector<const CorpusEntry*> parents;
+                        parents.reserve(pool.size());
+                        for (const CorpusEntry& e : pool) {
+                            if (!e.concolic) parents.push_back(&e);
+                        }
+                        if (!parents.empty()) {
                             util::Rng coin(slot.seed ^ kMutateCoinSalt);
                             if (coin.next_double() < config_.mutation_rate) {
                                 const CorpusEntry& parent =
-                                    pool[coin.next_below(pool.size())];
+                                    *parents[coin.next_below(parents.size())];
                                 slot.recipe =
                                     mutator.derive(corpus, parent, slot.seed);
                                 slot.recipe_text = slot.recipe.encode();
@@ -641,7 +722,8 @@ CampaignReport CampaignEngine::run() {
             std::vector<ScenarioOutcome> outcomes(slots.size());
             run_pool(slots.size(), [&](WorkerContext& ctx, std::uint64_t i) {
                 const Scenario sc =
-                    slots[i].recipe_text.empty()
+                    slots[i].is_concolic ? mutator.apply_concolic(slots[i].concolic)
+                    : slots[i].recipe_text.empty()
                         ? gen.make_for(slots[i].program, slots[i].seed)
                         : mutator.apply(slots[i].recipe);
                 run_one(ctx, sc, outcomes[i], slots[i].recipe_text);
@@ -671,7 +753,10 @@ CampaignReport CampaignEngine::run() {
                 gain[slots[i].program] +=
                     static_cast<double>(ref_edges) / 8.0 +
                     static_cast<double>(dut_edges) / 16.0 + (fresh ? 1.0 : 0.0);
-                if (config_.mutate && (fresh || ref_edges > 0 || dut_edges > 0)) {
+                if (config_.mutate && !slots[i].is_concolic &&
+                    (fresh || ref_edges > 0 || dut_edges > 0)) {
+                    // (Concolic slots are already corpus entries: they were
+                    // added when their seed passed the relight check.)
                     if (slots[i].recipe_text.empty()) {
                         corpus.add(gen.programs()[slots[i].program],
                                    slots[i].seed);
@@ -682,9 +767,114 @@ CampaignReport CampaignEngine::run() {
                     }
                 }
             }
+            // Per-program slot counts include concolic slots, so their edge
+            // gains reward the program at the same per-scenario scale as
+            // planned slots.
+            std::vector<std::uint64_t> ran(plan.size(), 0);
+            for (const GuidedSlot& slot : slots) ++ran[slot.program];
             for (std::size_t p = 0; p < plan.size(); ++p) {
-                if (plan[p] == 0) continue;
-                scheduler.reward(p, gain[p] / static_cast<double>(plan[p]));
+                if (ran[p] == 0) continue;
+                scheduler.reward(p, gain[p] / static_cast<double>(ran[p]));
+            }
+
+            // Concolic synthesis at the barrier: map still-dark reference
+            // slots back to IR sites, solve for covering seeds, verify each
+            // actually lights its slot on the oracle, and queue the
+            // survivors for the next round.  Sequential and driven by
+            // barrier-merged state only -- thread count cannot change what
+            // gets synthesized.
+            if (config_.concolic) {
+                std::uint64_t budget = config_.concolic_per_round;
+                for (std::size_t p = 0;
+                     p < gen.programs().size() && budget > 0; ++p) {
+                    ConcolicState& st = concolic_states[p];
+                    if (!st.index) {
+                        st.compiled =
+                            gen.make_for(p, config_.base_seed).compiled;
+                        st.index = std::make_unique<coverage::EdgeIndex>(
+                            *st.compiled, ref_salt);
+                        st.synth =
+                            std::make_unique<verify::ConcolicSynthesizer>(
+                                *st.compiled);
+                    }
+                    std::vector<coverage::EdgeSite> targets;
+                    for (const coverage::EdgeSite& site :
+                         st.index->dark_sites(global)) {
+                        if (targets.size() >= budget) break;
+                        if (!st.attempted.insert(site.slot).second) continue;
+                        targets.push_back(site);
+                    }
+                    if (targets.empty()) continue;
+                    budget -= targets.size();
+                    const verify::ConcolicResult result =
+                        st.synth->synthesize(targets);
+                    if (result.paths_exhausted) {
+                        report.concolic_paths_exhausted = true;
+                    }
+                    for (const verify::TargetOutcome& out : result.outcomes) {
+                        switch (out.status) {
+                            case verify::TargetStatus::solved:
+                                ++report.concolic_solved;
+                                break;
+                            case verify::TargetStatus::unsat:
+                                ++report.concolic_unsat;
+                                break;
+                            case verify::TargetStatus::unknown:
+                                ++report.concolic_unknown;
+                                break;
+                            case verify::TargetStatus::no_path:
+                                ++report.concolic_no_path;
+                                break;
+                        }
+                    }
+                    for (const verify::ConcolicSeed& seed : result.seeds) {
+                        ConcolicRecipe recipe;
+                        recipe.program = gen.programs()[p];
+                        recipe.slot = seed.target.slot;
+                        recipe.ingress_port = seed.ingress_port;
+                        recipe.packet = seed.packet;
+                        for (const auto& def : seed.defaults) {
+                            ConcolicRecipe::Default d;
+                            d.table = def.table;
+                            d.action = def.action;
+                            for (const util::Bitvec& arg : def.args) {
+                                d.args.push_back(arg.to_bytes());
+                            }
+                            recipe.defaults.push_back(std::move(d));
+                        }
+                        // Relight check: inject the synthesized scenario on
+                        // the oracle exactly the way run_one will and
+                        // require the target slot to light.  A model the
+                        // interpreter disagrees with is a verify-layer bug
+                        // and must not pollute the corpus.
+                        const Scenario sc = mutator.apply_concolic(recipe);
+                        TestPacketGenerator pgen(sc.spec);
+                        std::vector<packet::Packet> packets;
+                        packets.reserve(sc.spec.count);
+                        for (std::uint64_t seq = 1; seq <= sc.spec.count;
+                             ++seq) {
+                            packets.push_back(pgen.make_packet(
+                                seq, kEpochNs + (seq - 1) * kSlotNs));
+                        }
+                        coverage::CoverageMap scratch;
+                        oracle->set_coverage(&scratch);
+                        run_scenario_on(*oracle, sc, packets,
+                                        config_.batch_size);
+                        oracle->set_coverage(nullptr);
+                        if (scratch.count(seed.target.slot) == 0) {
+                            ++report.concolic_mismatched;
+                            continue;
+                        }
+                        const std::string text = recipe.encode();
+                        if (!corpus.add(recipe.program, recipe.slot, text,
+                                        /*concolic=*/true)) {
+                            continue;  // slot-colliding duplicate
+                        }
+                        ++report.concolic_injected;
+                        report.concolic_recipes.push_back(text);
+                        pending.push_back({p, std::move(recipe)});
+                    }
+                }
             }
             done += round;
             report.coverage_series.push_back(
@@ -692,6 +882,7 @@ CampaignReport CampaignEngine::run() {
         }
         report.coverage_edges =
             static_cast<std::uint64_t>(global.edges_covered());
+        if (config_.coverage_map_out) *config_.coverage_map_out = global;
     }
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -742,6 +933,23 @@ std::string CampaignReport::to_string() const {
                           static_cast<unsigned long long>(scenarios_mutated),
                           static_cast<unsigned long long>(scenarios));
     }
+    if (concolic_enabled) {
+        s += util::format(
+            "  concolic: %llu seed(s) injected, %llu scenario(s) run "
+            "(targets: %llu solved, %llu unsat, %llu unknown, %llu no-path, "
+            "%llu mismatched)%s\n",
+            static_cast<unsigned long long>(concolic_injected),
+            static_cast<unsigned long long>(scenarios_concolic),
+            static_cast<unsigned long long>(concolic_solved),
+            static_cast<unsigned long long>(concolic_unsat),
+            static_cast<unsigned long long>(concolic_unknown),
+            static_cast<unsigned long long>(concolic_no_path),
+            static_cast<unsigned long long>(concolic_mismatched),
+            concolic_paths_exhausted ? "; paths exhausted" : "");
+        for (const auto& r : concolic_recipes) {
+            s += util::format("  concolic+ %s\n", r.c_str());
+        }
+    }
     for (const auto& d : divergences) {
         s += util::format(
             "  [%s] seed=%llu %s: %s (min=%llu pkt, +%llu dup) %s\n",
@@ -774,6 +982,27 @@ std::string CampaignReport::to_json() const {
     s += util::format("  \"dedup_ratio\": %.3f,\n", dedup_ratio());
     s += util::format("  \"scenarios_mutated\": %llu,\n",
                       static_cast<unsigned long long>(scenarios_mutated));
+    if (concolic_enabled) {
+        s += "  \"concolic\": {";
+        s += util::format("\"scenarios\": %llu, ",
+                          static_cast<unsigned long long>(scenarios_concolic));
+        s += util::format("\"injected\": %llu, ",
+                          static_cast<unsigned long long>(concolic_injected));
+        s += util::format("\"solved\": %llu, ",
+                          static_cast<unsigned long long>(concolic_solved));
+        s += util::format("\"unsat\": %llu, ",
+                          static_cast<unsigned long long>(concolic_unsat));
+        s += util::format("\"unknown\": %llu, ",
+                          static_cast<unsigned long long>(concolic_unknown));
+        s += util::format("\"no_path\": %llu, ",
+                          static_cast<unsigned long long>(concolic_no_path));
+        s += util::format("\"mismatched\": %llu, ",
+                          static_cast<unsigned long long>(concolic_mismatched));
+        s += util::format("\"paths_exhausted\": %s, ",
+                          concolic_paths_exhausted ? "true" : "false");
+        s += "\"recipes\": " + json_string_array(concolic_recipes);
+        s += "},\n";
+    }
     if (coverage_enabled) {
         // Edges-discovered over scenarios: the guided campaign's trajectory,
         // one sample per scheduler round.  Deterministic like the rest.

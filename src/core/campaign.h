@@ -47,6 +47,10 @@
 #include "dataplane/engine.h"
 #include "dataplane/quirks.h"
 
+namespace ndb::coverage {
+class CoverageMap;
+}  // namespace ndb::coverage
+
 namespace ndb::core {
 
 // One backend in the sweep, instantiated per worker via the target registry.
@@ -92,10 +96,30 @@ struct CampaignConfig {
     // Directory of .corpus recipes preloaded into the mutation corpus
     // (empty = the corpus grows from this run's own retained scenarios).
     std::string corpus_dir;
-    // Single-scenario replay of one encoded MutationRecipe: when non-empty
-    // the engine runs exactly that mutant (`scenarios` is ignored), which
-    // is how a mutated divergence replays through the ordinary path.
+    // Single-scenario replay of one encoded recipe: when non-empty the
+    // engine runs exactly that scenario (`scenarios` is ignored).  A '#'
+    // head parses as a MutationRecipe, an '@' head as a ConcolicRecipe --
+    // this is how a mutated or synthesized divergence replays through the
+    // ordinary detection path.
     std::string mutation_recipe;
+
+    // Concolic seed synthesis (src/verify/concolic.h; implies coverage).
+    // At every guided round barrier the engine maps the reference device's
+    // never-lit coverage slots back to IR sites (coverage::EdgeIndex), asks
+    // the symbolic layer to solve a packet + default-action programming
+    // reaching each, verifies that every solved seed actually lights its
+    // target slot on an interpreter-engine reference device, and schedules
+    // the survivors ahead of the next round's plan as high-energy corpus
+    // entries.  Synthesis consumes only barrier-merged state, so the report
+    // keeps the byte-identical-across-thread-counts contract.
+    bool concolic = false;
+    // Dark sites attempted per round barrier (bounds solver time per round).
+    std::uint64_t concolic_per_round = 8;
+
+    // When set, receives a copy of the final merged coverage map (guided
+    // and single-recipe-replay modes; the uniform sweep has no map).  Not
+    // owned; must outlive run().
+    coverage::CoverageMap* coverage_map_out = nullptr;
 };
 
 struct DivergenceRecord {
@@ -156,6 +180,26 @@ struct CampaignReport {
     // Mutation-mode output: slots drawn as corpus mutants (0 when mutate
     // was off or the corpus never produced a parent).
     std::uint64_t scenarios_mutated = 0;
+
+    // Concolic-mode outputs (config.concolic).  The per-target counters sum
+    // over every dark site attempted; `unknown` means the SAT conflict
+    // budget ran out -- explicitly NOT a proof of unreachability, unlike
+    // `unsat`.
+    bool concolic_enabled = false;
+    std::uint64_t scenarios_concolic = 0;   // slots run from synthesized seeds
+    std::uint64_t concolic_injected = 0;    // seeds verified + added to corpus
+    std::uint64_t concolic_solved = 0;      // targets the solver modeled
+    std::uint64_t concolic_unsat = 0;       // targets with no satisfiable path
+    std::uint64_t concolic_unknown = 0;     // SAT budget exhausted (skipped)
+    std::uint64_t concolic_no_path = 0;     // no symexec path covers the site
+    std::uint64_t concolic_mismatched = 0;  // solved but failed the relight check
+    // True when symexec truncated exploration at its max_paths budget for
+    // at least one program: a no_path target then means "not found within
+    // budget", never "unreachable".
+    bool concolic_paths_exhausted = false;
+    // Encoded ConcolicRecipe text of every injected seed, injection order;
+    // each is a replayable `concolic=` corpus line.
+    std::vector<std::string> concolic_recipes;
 
     double dedup_ratio() const {
         return divergences.empty()

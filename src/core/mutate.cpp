@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <stdexcept>
 
+#include "coverage/coverage.h"
 #include "util/random.h"
 #include "util/strings.h"
 
@@ -35,20 +37,46 @@ constexpr OpNameEntry kOpNames[] = {
     {MutationOp::Kind::splice, "splice"},
 };
 
-bool parse_u64(std::string_view text, std::uint64_t& out) {
-    if (text.empty()) return false;
-    std::uint64_t value = 0;
-    for (const char c : text) {
-        if (c < '0' || c > '9') return false;
-        const auto digit = static_cast<std::uint64_t>(c - '0');
-        // Overflow is damage, not a value: wrapping would silently replay
-        // a different mutation.
-        if (value > (UINT64_MAX - digit) / 10) return false;
-        value = value * 10 + digit;
+using util::parse_u64;
+
+// Lowercase hex image of a byte string (two digits per byte).
+std::string hex_encode(std::span<const std::uint8_t> bytes) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const std::uint8_t b : bytes) {
+        out += kDigits[b >> 4];
+        out += kDigits[b & 0xf];
     }
-    out = value;
+    return out;
+}
+
+// Strict inverse of hex_encode: non-empty, even length, hex digits only
+// (either case).  Anything else is damage and must fail, not round down.
+bool hex_decode(std::string_view text, std::vector<std::uint8_t>& out) {
+    if (text.empty() || text.size() % 2 != 0) return false;
+    out.clear();
+    out.reserve(text.size() / 2);
+    int acc = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        int digit = 0;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return false;
+        acc = (acc << 4) | digit;
+        if (i % 2 == 1) {
+            out.push_back(static_cast<std::uint8_t>(acc));
+            acc = 0;
+        }
+    }
     return true;
 }
+
+// Adversarial .corpus files must not allocate unboundedly: cap the decoded
+// packet at jumbo-frame scale.
+constexpr std::size_t kMaxConcolicPacketBytes = 9216;
 
 }  // namespace
 
@@ -122,10 +150,89 @@ std::optional<MutationRecipe> MutationRecipe::parse(std::string_view text) {
     return recipe;
 }
 
+// --- concolic recipe text form ------------------------------------------------
+
+std::string ConcolicRecipe::encode() const {
+    std::string out = util::format("%s@%llu|port:%u|pkt:%s", program.c_str(),
+                                   static_cast<unsigned long long>(slot),
+                                   ingress_port, hex_encode(packet).c_str());
+    for (const Default& def : defaults) {
+        out += util::format("|def:%s:%s", def.table.c_str(), def.action.c_str());
+        for (const auto& arg : def.args) out += ":" + hex_encode(arg);
+    }
+    return out;
+}
+
+std::optional<ConcolicRecipe> ConcolicRecipe::parse(std::string_view text) {
+    ConcolicRecipe recipe;
+    const auto items = util::split(text, '|');
+    if (items.empty()) return std::nullopt;
+
+    // Head: "program@slot".  '@' is never part of a MutationRecipe head, so
+    // the two parsers reject each other's text by construction.
+    const std::string_view head = items[0];
+    const std::size_t at = head.find('@');
+    if (at == std::string_view::npos || at == 0) return std::nullopt;
+    recipe.program = std::string(head.substr(0, at));
+    if (!parse_u64(head.substr(at + 1), recipe.slot)) return std::nullopt;
+    if (recipe.slot >= coverage::CoverageMap::kSlots) return std::nullopt;
+
+    bool have_port = false;
+    bool have_packet = false;
+    for (std::size_t i = 1; i < items.size(); ++i) {
+        const std::string_view item = items[i];
+        const std::size_t colon = item.find(':');
+        if (colon == std::string_view::npos) return std::nullopt;
+        const std::string_view key = item.substr(0, colon);
+        const std::string_view value = item.substr(colon + 1);
+        if (key == "port") {
+            std::uint64_t port = 0;
+            if (have_port || !parse_u64(value, port)) return std::nullopt;
+            // kDropPort is the widest legal 9-bit port value.
+            if (port > p4::ir::kDropPort) return std::nullopt;
+            recipe.ingress_port = static_cast<std::uint32_t>(port);
+            have_port = true;
+        } else if (key == "pkt") {
+            if (have_packet || !hex_decode(value, recipe.packet)) {
+                return std::nullopt;
+            }
+            if (recipe.packet.empty() ||
+                recipe.packet.size() > kMaxConcolicPacketBytes) {
+                return std::nullopt;
+            }
+            have_packet = true;
+        } else if (key == "def") {
+            const auto parts = util::split(value, ':');
+            if (parts.size() < 2 || parts[0].empty() || parts[1].empty()) {
+                return std::nullopt;
+            }
+            Default def;
+            def.table = parts[0];
+            def.action = parts[1];
+            for (std::size_t p = 2; p < parts.size(); ++p) {
+                std::vector<std::uint8_t> arg;
+                if (!hex_decode(parts[p], arg)) return std::nullopt;
+                def.args.push_back(std::move(arg));
+            }
+            // One default per table: two would be a self-contradictory
+            // control plane, not a replayable scenario.
+            for (const Default& prev : recipe.defaults) {
+                if (prev.table == def.table) return std::nullopt;
+            }
+            recipe.defaults.push_back(std::move(def));
+        } else {
+            return std::nullopt;  // unknown section key
+        }
+    }
+    if (!have_port || !have_packet) return std::nullopt;
+    return recipe;
+}
+
 // --- corpus -------------------------------------------------------------------
 
 std::size_t ScenarioCorpus::load_dir(const std::string& dir,
                                      const std::vector<std::string>& programs) {
+    diagnostics_.clear();
     if (!std::filesystem::is_directory(dir)) return 0;
     std::vector<std::filesystem::path> files;
     for (const auto& file : std::filesystem::directory_iterator(dir)) {
@@ -135,47 +242,114 @@ std::size_t ScenarioCorpus::load_dir(const std::string& dir,
 
     std::size_t loaded = 0;
     for (const auto& path : files) {
+        const std::string fname = path.filename().string();
+        const auto reject = [&](const std::string& why) {
+            diagnostics_.push_back(fname + ": " + why);
+        };
         std::ifstream in(path);
-        std::string line, program, recipe;
+        std::string line, program, mutate_recipe, concolic_recipe;
         std::uint64_t seed = 0;
         bool seed_ok = false;
+        bool damaged = false;
+        int lineno = 0;
         while (std::getline(in, line)) {
+            ++lineno;
             if (line.empty() || line[0] == '#') continue;
             const std::size_t eq = line.find('=');
-            if (eq == std::string::npos) continue;
+            if (eq == std::string::npos) {
+                reject(util::format("line %d: no '=' separator", lineno));
+                damaged = true;
+                break;
+            }
             const std::string key = line.substr(0, eq);
             const std::string value = line.substr(eq + 1);
             // seed= gets the same strict parse as recipe operands: a
-            // damaged line must skip the entry, not load a different seed.
-            if (key == "seed") seed_ok = parse_u64(value, seed);
-            else if (key == "program") program = value;
-            else if (key == "mutate") recipe = value;
+            // damaged line must reject the entry, not load a different seed.
+            if (key == "seed") {
+                seed_ok = parse_u64(value, seed);
+                if (!seed_ok) {
+                    reject(util::format("line %d: unparseable seed '%s'",
+                                        lineno, value.c_str()));
+                    damaged = true;
+                    break;
+                }
+            } else if (key == "program") {
+                program = value;
+            } else if (key == "mutate") {
+                mutate_recipe = value;
+            } else if (key == "concolic") {
+                concolic_recipe = value;
+            } else if (key == "backend" || key == "quirks" || key == "stage") {
+                // Soak-mode provenance; informational only.
+            } else {
+                reject(util::format("line %d: unknown key '%s'", lineno,
+                                    key.c_str()));
+                damaged = true;
+                break;
+            }
         }
-        if (program.empty() || !seed_ok) continue;
+        if (damaged) continue;
+        if (program.empty() || !seed_ok) {
+            reject("missing program= or seed= line");
+            continue;
+        }
+        if (!mutate_recipe.empty() && !concolic_recipe.empty()) {
+            reject("both mutate= and concolic= present; an entry is one kind");
+            continue;
+        }
         if (std::find(programs.begin(), programs.end(), program) ==
             programs.end()) {
             continue;  // outside this campaign's catalogue slice
         }
-        if (!recipe.empty()) {
+        if (!mutate_recipe.empty()) {
             // The recipe must both parse and name the entry's own program:
             // an inconsistent file would otherwise smuggle an out-of-
             // catalogue (or misfiled) parent past the filter above and blow
             // up a worker at apply() time.
-            const auto parsed = MutationRecipe::parse(recipe);
-            if (!parsed || parsed->program != program) continue;
+            const auto parsed = MutationRecipe::parse(mutate_recipe);
+            if (!parsed) {
+                reject("malformed mutate= recipe: " + mutate_recipe);
+                continue;
+            }
+            if (parsed->program != program) {
+                reject("mutate= recipe names program '" + parsed->program +
+                       "' but entry is for '" + program + "'");
+                continue;
+            }
         }
-        if (add(program, seed, recipe)) ++loaded;
+        if (!concolic_recipe.empty()) {
+            const auto parsed = ConcolicRecipe::parse(concolic_recipe);
+            if (!parsed) {
+                reject("malformed concolic= recipe: " + concolic_recipe);
+                continue;
+            }
+            if (parsed->program != program) {
+                reject("concolic= recipe names program '" + parsed->program +
+                       "' but entry is for '" + program + "'");
+                continue;
+            }
+            if (parsed->slot != seed) {
+                reject(util::format(
+                    "concolic= slot %llu disagrees with seed=%llu",
+                    static_cast<unsigned long long>(parsed->slot),
+                    static_cast<unsigned long long>(seed)));
+                continue;
+            }
+        }
+        const bool concolic = !concolic_recipe.empty();
+        const std::string& recipe = concolic ? concolic_recipe : mutate_recipe;
+        if (add(program, seed, recipe, concolic)) ++loaded;
     }
     return loaded;
 }
 
 bool ScenarioCorpus::add(const std::string& program, std::uint64_t seed,
-                         const std::string& recipe) {
+                         const std::string& recipe, bool concolic) {
     const std::string key = util::format(
-        "%s#%llu#%s", program.c_str(), static_cast<unsigned long long>(seed),
-        recipe.c_str());
+        "%s#%llu#%s%s", program.c_str(), static_cast<unsigned long long>(seed),
+        concolic ? "c!" : "", recipe.c_str());
     if (!keys_.insert(key).second) return false;
-    by_program_[program].push_back(CorpusEntry{program, seed, recipe});
+    by_program_[program].push_back(CorpusEntry{program, seed, recipe, concolic});
     ++total_;
     return true;
 }
@@ -341,6 +515,68 @@ Scenario Mutator::apply(const MutationRecipe& recipe) const {
         }
     }
     s.spec.name += util::format("~m%zu", recipe.ops.size());
+    return s;
+}
+
+Scenario Mutator::apply_concolic(const ConcolicRecipe& recipe) const {
+    const std::size_t idx = program_index(recipe.program);
+    // make_for supplies the compiled program handle; everything else -- the
+    // control plane and the packet plan -- is replaced by the solver's
+    // model, so the scenario is a pure function of the recipe text.
+    Scenario s = gen_->make_for(idx, recipe.slot);
+    s.seed = recipe.slot;
+    const p4::ir::Program& prog = *s.compiled;
+
+    const auto bad = [&](const std::string& why) {
+        throw std::invalid_argument("concolic: " + why + " (program " +
+                                    recipe.program + ")");
+    };
+
+    s.config.clear();
+    for (const ConcolicRecipe::Default& def : recipe.defaults) {
+        const p4::ir::Table* table = prog.table_by_name(def.table);
+        if (!table) bad("unknown table '" + def.table + "'");
+        const p4::ir::Action* action = prog.action_by_name(def.action);
+        if (!action) bad("unknown action '" + def.action + "'");
+        if (std::find(table->actions.begin(), table->actions.end(),
+                      action->id) == table->actions.end()) {
+            bad("action '" + def.action + "' not allowed on table '" +
+                def.table + "'");
+        }
+        if (def.args.size() != action->param_widths.size()) {
+            bad(util::format("action '%s' takes %zu args, recipe has %zu",
+                             def.action.c_str(), action->param_widths.size(),
+                             def.args.size()));
+        }
+        ConfigOp op;
+        op.kind = ConfigOp::Kind::set_default_action;
+        op.target = def.table;
+        op.action = def.action;
+        for (std::size_t i = 0; i < def.args.size(); ++i) {
+            const int width = action->param_widths[i];
+            const auto& bytes = def.args[i];
+            if (bytes.size() != static_cast<std::size_t>((width + 7) / 8)) {
+                bad(util::format("arg %zu of '%s' must be %d bytes, got %zu",
+                                 i, def.action.c_str(), (width + 7) / 8,
+                                 bytes.size()));
+            }
+            const int excess = static_cast<int>(bytes.size()) * 8 - width;
+            if (excess > 0 && (bytes[0] >> (8 - excess)) != 0) {
+                bad(util::format("arg %zu of '%s' overflows its %d-bit width",
+                                 i, def.action.c_str(), width));
+            }
+            op.action_args.push_back(Bitvec::from_bytes(bytes, width));
+        }
+        s.config.push_back(std::move(op));
+    }
+
+    TestSpec spec;
+    spec.name = util::format("%s~c%llu", recipe.program.c_str(),
+                             static_cast<unsigned long long>(recipe.slot));
+    spec.tmpl.base = packet::Packet(recipe.packet);
+    spec.inject_port = recipe.ingress_port;
+    spec.count = 1;
+    s.spec = std::move(spec);
     return s;
 }
 

@@ -82,12 +82,45 @@ struct MutationRecipe {
     static std::optional<MutationRecipe> parse(std::string_view text);
 };
 
-// One stored corpus entry: a fresh (program, seed) pair, or -- when
-// `recipe` is non-empty -- a mutant whose full parentage the recipe holds.
+// A concolically synthesized corpus seed: the exact packet, ingress port
+// and table default-action programming the verify layer solved for, plus
+// the coverage slot it was synthesized to light.  Unlike a MutationRecipe
+// (which replays by re-deriving from a parent seed), this is fully concrete
+// -- the solver's model IS the scenario.
+//
+// Text form: "program@slot|port:P|pkt:HEX|def:table:action[:ARGHEX...]...".
+// The '@' head separator makes concolic and mutation recipe text mutually
+// unparseable, so a line can never be silently misread as the other kind.
+struct ConcolicRecipe {
+    std::string program;
+    std::uint64_t slot = 0;          // target coverage slot; doubles as seed
+    std::uint32_t ingress_port = 0;
+    std::vector<std::uint8_t> packet;
+
+    struct Default {
+        std::string table;
+        std::string action;
+        // Big-endian action-argument images, exactly ceil(width/8) bytes
+        // each (validated against the program at apply time).
+        std::vector<std::vector<std::uint8_t>> args;
+    };
+    std::vector<Default> defaults;
+
+    std::string encode() const;
+    // Strict: every structural defect (bad slot/port, odd or non-hex
+    // digits, empty sections, unknown section keys) rejects the whole text.
+    static std::optional<ConcolicRecipe> parse(std::string_view text);
+};
+
+// One stored corpus entry: a fresh (program, seed) pair, a mutant whose
+// full parentage `recipe` holds (encoded MutationRecipe), or -- when
+// `concolic` is set -- a solver-synthesized seed (`recipe` then holds an
+// encoded ConcolicRecipe and `seed` its target slot).
 struct CorpusEntry {
     std::string program;
     std::uint64_t seed = 0;
-    std::string recipe;  // encoded MutationRecipe; empty = fresh seed
+    std::string recipe;  // encoded recipe; empty = fresh seed
+    bool concolic = false;
 };
 
 // The stored scenario corpus the mutation engine draws parents and donors
@@ -98,14 +131,22 @@ class ScenarioCorpus {
 public:
     // Loads every `.corpus` file under `dir` (sorted by file name) whose
     // `program=` is in `programs`; a `mutate=` line makes the entry a
-    // mutant.  Missing directory is fine (returns 0).
+    // mutant, a `concolic=` line a synthesized seed.  Missing directory is
+    // fine (returns 0).  Every malformed file or line is rejected with a
+    // message appended to diagnostics() -- never a crash, never a silent
+    // skip.  (Out-of-catalogue programs are the one silent case: they are
+    // valid files that simply belong to another campaign slice.)
     std::size_t load_dir(const std::string& dir,
                          const std::vector<std::string>& programs);
+
+    // Human-readable reasons for everything load_dir rejected or flagged,
+    // in file order.  Cleared by each load_dir call.
+    const std::vector<std::string>& diagnostics() const { return diagnostics_; }
 
     // Adds one entry; returns false when an identical (program, seed,
     // recipe) triple is already stored.
     bool add(const std::string& program, std::uint64_t seed,
-             const std::string& recipe = {});
+             const std::string& recipe = {}, bool concolic = false);
 
     // Entries for one program; a stable empty vector when none.
     const std::vector<CorpusEntry>& entries(const std::string& program) const;
@@ -117,6 +158,7 @@ private:
     std::map<std::string, std::vector<CorpusEntry>> by_program_;
     std::set<std::string> keys_;  // dedup over program#seed#recipe
     std::size_t total_ = 0;
+    std::vector<std::string> diagnostics_;
 };
 
 // Derives and applies mutation recipes over a SpecGenerator's catalogue.
@@ -144,6 +186,14 @@ public:
     // does not carry.  Deterministic: apply(r) is a pure function of r and
     // the generator's program list.
     Scenario apply(const MutationRecipe& recipe) const;
+
+    // Materializes a concolic recipe: the scenario injects exactly the
+    // synthesized packet on the synthesized port, with the control plane
+    // reduced to the recipe's set_default_action ops.  Throws
+    // std::invalid_argument when the recipe is inconsistent with the
+    // program (unknown table/action, action not allowed on the table, or
+    // argument count/width mismatch).
+    Scenario apply_concolic(const ConcolicRecipe& recipe) const;
 
 private:
     std::size_t program_index(const std::string& program) const;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 
+#include "core/mutate.h"
 #include "util/strings.h"
 
 namespace ndb::core {
@@ -92,10 +93,15 @@ SoakResult append_unique_corpus_entries(const CampaignReport& report,
         out << "backend=" << rec.backend << "\n";
         out << "quirks=" << rec.quirk_signature << "\n";
         out << "stage=" << stage << "\n";
-        // Mutant parentage: the encoded recipe replays the exact mutated
-        // scenario (CampaignConfig::mutation_recipe); absent for fresh
-        // seeds, so pre-mutation corpus files keep parsing unchanged.
-        if (!rec.recipe.empty()) out << "mutate=" << rec.recipe << "\n";
+        // Parentage: the encoded recipe replays the exact scenario
+        // (CampaignConfig::mutation_recipe); absent for fresh seeds, so
+        // pre-mutation corpus files keep parsing unchanged.  A concolic
+        // recipe ('@' head; never parseable as a MutationRecipe) gets its
+        // own key so the corpus loader applies the right grammar.
+        if (!rec.recipe.empty()) {
+            const bool concolic = ConcolicRecipe::parse(rec.recipe).has_value();
+            out << (concolic ? "concolic=" : "mutate=") << rec.recipe << "\n";
+        }
         result.written.push_back(name);
     }
     std::sort(result.written.begin(), result.written.end());

@@ -1,0 +1,56 @@
+// Reverse index from coverage slots back to the IR sites that light them.
+//
+// The instrumented engines (parser_engine.cpp, interp.cpp) hash dynamic
+// events into CoverageMap slots; that direction is lossy on purpose.  For
+// concolic seed synthesis we need the other direction: given a slot that
+// never lit during a campaign, which parser transition / branch / table /
+// action does it correspond to?  EdgeIndex statically enumerates every
+// site the engines can emit for one program -- with the identical salting
+// and integer casts the instrumentation uses -- so "dark slot" becomes
+// "dark IR site" and symexec can be pointed at it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.h"
+#include "p4/ir.h"
+
+namespace ndb::coverage {
+
+// One statically known instrumentation site and the slot it hashes to.
+// `a`/`b` are the raw operands BEFORE salting (state ids may be kAccept/
+// kReject, i.e. negative -- the instrumentation sign-extends them through
+// static_cast<uint64_t>, and slot computation here does the same).
+struct EdgeSite {
+    Site kind = Site::parser_edge;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::uint32_t slot = 0;
+
+    std::string describe(const p4::ir::Program& prog) const;
+};
+
+class EdgeIndex {
+public:
+    // `device_salt` must be the same salt the device passed to
+    // set_coverage() (Device::coverage_salt()), or the slots won't line up.
+    EdgeIndex(const p4::ir::Program& prog, std::uint64_t device_salt);
+
+    const std::vector<EdgeSite>& sites() const { return sites_; }
+
+    // Sites whose slot was never hit in `map`.  Distinct sites can collide
+    // into one slot (AFL-style); a collision merely makes a dark site drop
+    // off this list once its twin lights, which only loses work, never
+    // correctness.
+    std::vector<EdgeSite> dark_sites(const CoverageMap& map) const;
+
+private:
+    void add(Site kind, std::int64_t a, std::int64_t b);
+
+    std::uint64_t cov_salt_ = 0;
+    std::vector<EdgeSite> sites_;
+};
+
+}  // namespace ndb::coverage

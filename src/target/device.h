@@ -148,6 +148,12 @@ public:
     virtual void set_coverage(coverage::CoverageMap* /*map*/) {}
     virtual coverage::CoverageMap* coverage() const { return nullptr; }
 
+    // The salt this backend folds into its coverage slot operands (on
+    // SimDevice: backend name ^ quirk signature).  coverage::EdgeIndex must
+    // be built with the same salt to map slots back to IR sites; the
+    // default matches the un-instrumented set_coverage() default above.
+    virtual std::uint64_t coverage_salt() const { return 0; }
+
     // Execution-engine selection, same no-op default contract as
     // set_coverage(): backends that only have one executor ignore it and
     // report Engine::interpreter.  On SimDevice the setting survives load().

@@ -1,8 +1,11 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace ndb::util {
 
@@ -33,6 +36,32 @@ std::string_view trim(std::string_view text) {
 
 bool starts_with(std::string_view text, std::string_view prefix) {
     return text.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        const auto digit = static_cast<std::uint64_t>(c - '0');
+        // Overflow is damage, not a value: wrapping would silently produce
+        // a different number than the one written down.
+        if (value > (UINT64_MAX - digit) / 10) return false;
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+bool parse_double(std::string_view text, double& out) {
+    if (text.empty()) return false;
+    const std::string owned(text);  // strtod needs a terminator
+    char* end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) return false;
+    if (!std::isfinite(value)) return false;
+    out = value;
+    return true;
 }
 
 std::string format(const char* fmt, ...) {

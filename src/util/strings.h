@@ -24,6 +24,15 @@ std::vector<std::string> split(std::string_view text, char sep);
 std::string_view trim(std::string_view text);
 bool starts_with(std::string_view text, std::string_view prefix);
 
+// Strict unsigned decimal parse: digits only, whole string, overflow
+// rejected.  Shared by recipe decoding and CLI flag validation -- anywhere
+// a half-parsed number would silently become a *different* number.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+// Strict double parse: the whole string must be consumed and the result
+// finite.  For CLI flags where strtod's silent 0.0-on-garbage is a trap.
+bool parse_double(std::string_view text, double& out);
+
 // printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -131,7 +131,7 @@ std::vector<Lit> BitBlaster::shift(const std::vector<Lit>& value,
 }
 
 std::vector<Lit> BitBlaster::blast(const SExpr& e) {
-    const auto cached = cache_.find(e.get());
+    const auto cached = cache_.find(e);
     if (cached != cache_.end()) return cached->second;
 
     std::vector<Lit> out;
@@ -260,7 +260,7 @@ std::vector<Lit> BitBlaster::blast(const SExpr& e) {
     if (static_cast<int>(out.size()) != e->width) {
         throw std::logic_error("BitBlaster: width bookkeeping error");
     }
-    cache_.emplace(e.get(), out);
+    cache_.emplace(e, out);
     return out;
 }
 

@@ -43,7 +43,11 @@ private:
                            const std::vector<Lit>& amount, bool left);
 
     SatSolver& solver_;
-    std::unordered_map<const Node*, std::vector<Lit>> cache_;
+    // Keyed by the owning SExpr, not the raw Node*: the cache must keep every
+    // blasted node alive, or a freed node's address can be reused by a
+    // structurally different term and inherit its literals (observed as
+    // heap-layout-dependent spurious unsat when callers pass temporaries).
+    std::unordered_map<SExpr, std::vector<Lit>> cache_;
     std::unordered_map<int, std::vector<Lit>> var_bits_;
     Lit const_true_ = -1;
 };

@@ -1,0 +1,262 @@
+#include "verify/concolic.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "packet/packet.h"
+#include "util/strings.h"
+#include "verify/solver.h"
+
+namespace ndb::verify {
+
+using coverage::EdgeSite;
+using coverage::Site;
+using p4::ir::kAccept;
+using p4::ir::kReject;
+
+const char* target_status_name(TargetStatus status) {
+    switch (status) {
+        case TargetStatus::solved: return "solved";
+        case TargetStatus::unsat: return "unsat";
+        case TargetStatus::unknown: return "unknown";
+        case TargetStatus::no_path: return "no_path";
+    }
+    return "?";
+}
+
+ConcolicSynthesizer::ConcolicSynthesizer(const p4::ir::Program& prog,
+                                         ConcolicOptions options)
+    : prog_(prog), options_(options) {}
+
+void ConcolicSynthesizer::ensure_explored() {
+    if (explored_) return;
+    explored_ = true;
+    SymExecOptions opts;
+    opts.max_paths = options_.max_paths;
+    // Invalid-read tracking only produces warnings; skip the bookkeeping.
+    opts.track_invalid_reads = false;
+    SymExec exec(prog_, pool_, opts);
+    SymExecResult result = exec.explore();
+    paths_ = std::move(result.paths);
+    paths_exhausted_ = result.paths_exhausted;
+
+    const auto branch_ids = p4::ir::number_branches(prog_);
+    for (const auto& [stmt, id] : branch_ids) {
+        if (id >= branch_by_ordinal_.size()) branch_by_ordinal_.resize(id + 1);
+        branch_by_ordinal_[id] = stmt;
+    }
+}
+
+std::vector<const SymPath*> ConcolicSynthesizer::candidates(
+    const EdgeSite& site) const {
+    std::vector<const SymPath*> out;
+    for (const auto& path : paths_) {
+        bool match = false;
+        switch (site.kind) {
+            case Site::parser_edge: {
+                const std::pair<int, int> edge{static_cast<int>(site.a),
+                                               static_cast<int>(site.b)};
+                match = std::find(path.parser_edges.begin(),
+                                  path.parser_edges.end(),
+                                  edge) != path.parser_edges.end();
+                break;
+            }
+            case Site::parser_finish:
+                match = path.final_parser_state == static_cast<int>(site.a);
+                break;
+            case Site::table:
+                // Only the miss side: without installed entries every apply
+                // misses concretely, so any path applying the table works.
+                match = site.b == 0 &&
+                        std::any_of(path.table_choices.begin(),
+                                    path.table_choices.end(), [&](const auto& tc) {
+                                        return tc.first == static_cast<int>(site.a);
+                                    });
+                break;
+            case Site::action:
+                match = std::find(path.actions_run.begin(), path.actions_run.end(),
+                                  static_cast<int>(site.a)) !=
+                        path.actions_run.end();
+                break;
+            case Site::branch: {
+                const std::size_t ord = static_cast<std::size_t>(site.a);
+                const p4::ir::Stmt* stmt =
+                    ord < branch_by_ordinal_.size() ? branch_by_ordinal_[ord]
+                                                    : nullptr;
+                if (!stmt) break;
+                const std::pair<const p4::ir::Stmt*, bool> want{stmt, site.b != 0};
+                match = std::find(path.branches.begin(), path.branches.end(),
+                                  want) != path.branches.end();
+                break;
+            }
+        }
+        if (match) out.push_back(&path);
+    }
+    return out;
+}
+
+TargetStatus ConcolicSynthesizer::solve_path(const SymPath& path,
+                                             ConcolicSeed& seed,
+                                             std::string& detail) {
+    // Packet geometry first: the length constraint must name the exact size
+    // of the packet we will emit, or length-sensitive paths drift.
+    int parsed_bits = 0;
+    for (const auto& chunk : path.wire) parsed_bits += chunk.bits;
+    const int parsed_bytes = (parsed_bits + 7) / 8;
+    const int length = std::max(parsed_bytes + options_.pad_bytes,
+                                options_.min_packet_bytes);
+
+    Solver solver;
+    solver.add(path.condition);
+    // Pin the execution environment to what SimDevice + the generator
+    // actually present: otherwise the model picks, say, port 300, and the
+    // synthesized seed dies in injection instead of lighting its edge.
+    const SExpr port = pool_.get("std.ingress_port", 9);
+    solver.add(sv_ult(port, sv_const_u(9, static_cast<std::uint64_t>(
+                                              options_.num_ports))));
+    solver.add(sv_eq(pool_.get("std.packet_length", 32),
+                     sv_const_u(32, static_cast<std::uint64_t>(length))));
+    solver.add(sv_eq(pool_.get("std.timestamp", 48),
+                     sv_const_u(48, options_.timestamp_us)));
+    // Device state at scenario start: registers zeroed, meters unconfigured
+    // (= everything green, color 0).  Hash outputs stay free -- they cannot
+    // be steered, so hash-dependent seeds may fail the caller's relight
+    // check and be discarded there.
+    const auto& vars = pool_.vars();
+    for (std::size_t id = 0; id < vars.size(); ++id) {
+        const auto& [name, width] = vars[id];
+        if (util::starts_with(name, "reg#") || util::starts_with(name, "meter#")) {
+            solver.add(sv_eq(sv_var(static_cast<int>(id), width, name),
+                             sv_const(Bitvec(width))));
+        }
+    }
+
+    const SatResult verdict = solver.check(options_.max_conflicts);
+    if (verdict == SatResult::unsat) {
+        detail = "candidate path unsat under concrete environment";
+        return TargetStatus::unsat;
+    }
+    if (verdict == SatResult::unknown) {
+        detail = util::format("SAT conflict budget (%llu) exhausted",
+                              static_cast<unsigned long long>(
+                                  options_.max_conflicts));
+        return TargetStatus::unknown;
+    }
+
+    // Decode the wire: walk the chunks the parser consumed, depositing each
+    // extracted field's model value at its offset (MSB-first, like
+    // ParserEngine::run's extract_bits).  Advanced-over and padding bytes
+    // stay zero -- unconstrained variables read back as zero from the
+    // blaster, so the two agree.
+    packet::Packet pkt = packet::Packet::zeros(static_cast<std::size_t>(length));
+    std::size_t cursor = 0;
+    for (const auto& chunk : path.wire) {
+        if (chunk.header < 0) {
+            cursor += static_cast<std::size_t>(chunk.bits);
+            continue;
+        }
+        const auto& hdr = prog_.headers[static_cast<std::size_t>(chunk.header)];
+        for (const auto& field : hdr.fields) {
+            const Bitvec value =
+                solver.eval(pool_.get(hdr.name + "." + field.name, field.width));
+            pkt.deposit_bits(cursor + static_cast<std::size_t>(field.offset),
+                             value);
+        }
+        cursor += static_cast<std::size_t>(hdr.size_bits);
+    }
+    seed.packet = pkt.data();
+    seed.ingress_port =
+        static_cast<std::uint32_t>(solver.eval(port).to_u64());
+
+    // Steer every applied table to the path's chosen action via its default
+    // (no entries installed => every lookup misses => default runs).
+    seed.defaults.clear();
+    for (std::size_t i = 0; i < path.table_choices.size(); ++i) {
+        const auto& [table_id, action_id] = path.table_choices[i];
+        const auto& table = prog_.tables[static_cast<std::size_t>(table_id)];
+        const auto& action = prog_.actions[static_cast<std::size_t>(action_id)];
+        ConcolicSeed::Default def;
+        def.table = table.name;
+        def.action = action.name;
+        for (const SExpr& arg : path.table_args[i]) {
+            def.args.push_back(solver.eval(arg));
+        }
+        const auto prev = std::find_if(
+            seed.defaults.begin(), seed.defaults.end(),
+            [&](const auto& d) { return d.table == def.table; });
+        if (prev == seed.defaults.end()) {
+            seed.defaults.push_back(std::move(def));
+            continue;
+        }
+        if (prev->action != def.action || prev->args != def.args) {
+            // The path applies one table twice with diverging choices; a
+            // single default cannot realize it.
+            detail = util::format("conflicting defaults for table %s",
+                                  table.name.c_str());
+            return TargetStatus::no_path;
+        }
+    }
+    detail = util::format("%s path, %d wire bytes, %zu defaults",
+                          path_end_name(path.end), length,
+                          seed.defaults.size());
+    return TargetStatus::solved;
+}
+
+ConcolicResult ConcolicSynthesizer::synthesize(
+    const std::vector<EdgeSite>& targets) {
+    ensure_explored();
+    ConcolicResult result;
+    result.paths_exhausted = paths_exhausted_;
+    for (const EdgeSite& site : targets) {
+        TargetOutcome outcome;
+        outcome.site = site;
+        if (site.kind == Site::table && site.b != 0) {
+            outcome.status = TargetStatus::no_path;
+            outcome.detail = "table hit needs an installed entry; not synthesized";
+            result.outcomes.push_back(std::move(outcome));
+            continue;
+        }
+        const auto paths = candidates(site);
+        bool saw_unknown = false;
+        bool saw_unsat = false;
+        std::string last_detail;
+        const int attempts = std::min<int>(options_.max_attempts_per_site,
+                                           static_cast<int>(paths.size()));
+        for (int i = 0; i < attempts; ++i) {
+            ConcolicSeed seed;
+            seed.target = site;
+            std::string detail;
+            const TargetStatus status = solve_path(*paths[static_cast<std::size_t>(i)],
+                                                   seed, detail);
+            if (status == TargetStatus::solved) {
+                outcome.status = TargetStatus::solved;
+                outcome.detail = std::move(detail);
+                result.seeds.push_back(std::move(seed));
+                break;
+            }
+            saw_unknown = saw_unknown || status == TargetStatus::unknown;
+            saw_unsat = saw_unsat || status == TargetStatus::unsat;
+            last_detail = std::move(detail);
+        }
+        if (outcome.status != TargetStatus::solved) {
+            if (saw_unknown) {
+                outcome.status = TargetStatus::unknown;
+            } else if (saw_unsat) {
+                outcome.status = TargetStatus::unsat;
+            } else {
+                outcome.status = TargetStatus::no_path;
+                last_detail = paths.empty()
+                                  ? (paths_exhausted_
+                                         ? "no covering path (exploration "
+                                           "truncated at max_paths)"
+                                         : "no covering path")
+                                  : last_detail;
+            }
+            outcome.detail = std::move(last_detail);
+        }
+        result.outcomes.push_back(std::move(outcome));
+    }
+    return result;
+}
+
+}  // namespace ndb::verify

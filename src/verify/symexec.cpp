@@ -34,6 +34,23 @@ std::string SymPath::describe(const Program& prog) const {
 SymExec::SymExec(const Program& prog, VarPool& pool, SymExecOptions options)
     : prog_(prog), pool_(pool), options_(options) {}
 
+SymPath SymExec::finish_path(State&& st, SExpr condition, PathEnd end) {
+    SymPath path;
+    path.condition = std::move(condition);
+    path.headers = std::move(st.headers);
+    path.end = end;
+    path.egress_assigned = st.egress_assigned;
+    path.table_choices = std::move(st.table_choices);
+    path.warnings = std::move(st.warnings);
+    path.parser_edges = std::move(st.parser_edges);
+    path.final_parser_state = st.final_parser_state;
+    path.branches = std::move(st.branches);
+    path.actions_run = std::move(st.actions_run);
+    path.wire = std::move(st.wire);
+    path.table_args = std::move(st.table_args);
+    return path;
+}
+
 SExpr SymExec::input_var(const std::string& name, int width) {
     return pool_.get(name, width);
 }
@@ -162,12 +179,10 @@ void SymExec::run_parser(State state, int state_id, int depth,
         return;
     }
     if (state_id == p4::ir::kReject || depth > 64) {
-        SymPath path;
-        path.condition = state.condition;
-        path.headers = std::move(state.headers);
-        path.end = PathEnd::parser_reject;
-        path.warnings = std::move(state.warnings);
-        finished.push_back(std::move(path));
+        state.final_parser_state = p4::ir::kReject;
+        SExpr cond = state.condition;
+        finished.push_back(
+            finish_path(std::move(state), std::move(cond), PathEnd::parser_reject));
         return;
     }
     const auto& ps = prog_.parser_states[static_cast<std::size_t>(state_id)];
@@ -183,10 +198,13 @@ void SymExec::run_parser(State state, int state_id, int depth,
                     inst.fields[f] = input_var(hdr.name + "." + hdr.fields[f].name,
                                                hdr.fields[f].width);
                 }
+                state.wire.push_back({op.header, hdr.size_bits});
                 break;
             }
             case p4::ir::ParserOp::Kind::advance:
-                break;  // byte skipping has no symbolic effect
+                // No symbolic effect, but the bytes occupy wire positions.
+                state.wire.push_back({-1, op.bits});
+                break;
             case p4::ir::ParserOp::Kind::assign: {
                 const SExpr v = eval(*op.value, state);
                 state.headers[static_cast<std::size_t>(op.dst.header)]
@@ -198,6 +216,7 @@ void SymExec::run_parser(State state, int state_id, int depth,
     }
     const auto& t = ps.transition;
     if (t.kind == p4::ir::Transition::Kind::direct) {
+        state.parser_edges.emplace_back(state_id, t.next_state);
         run_parser(std::move(state), t.next_state, depth + 1, accepted, finished);
         return;
     }
@@ -207,6 +226,7 @@ void SymExec::run_parser(State state, int state_id, int depth,
     for (const auto& k : t.keys) keys.push_back(eval(*k, state));
 
     SExpr none_before = sv_bool(true);  // no earlier case matched
+    bool first_case = true;             // the first live case rides for free
     for (const auto& c : t.cases) {
         SExpr match = sv_bool(true);
         for (std::size_t i = 0; i < c.sets.size(); ++i) {
@@ -216,9 +236,11 @@ void SymExec::run_parser(State state, int state_id, int depth,
                                          sv_const(ks.value.band(ks.mask))));
         }
         const SExpr taken = sv_land(state.condition, sv_land(none_before, match));
-        if (!sv_is_false(taken)) {
+        if (!sv_is_false(taken) && (first_case || fork_budget())) {
+            first_case = false;
             State branch = state;
             branch.condition = taken;
+            branch.parser_edges.emplace_back(state_id, c.next_state);
             run_parser(std::move(branch), c.next_state, depth + 1, accepted, finished);
         }
         none_before = sv_land(none_before, sv_lnot(match));
@@ -226,9 +248,10 @@ void SymExec::run_parser(State state, int state_id, int depth,
     }
     // No case matched: implicit reject.
     const SExpr fallthrough = sv_land(state.condition, none_before);
-    if (!sv_is_false(fallthrough)) {
+    if (!sv_is_false(fallthrough) && (first_case || fork_budget())) {
         State branch = std::move(state);
         branch.condition = fallthrough;
+        branch.parser_edges.emplace_back(state_id, p4::ir::kReject);
         run_parser(std::move(branch), p4::ir::kReject, depth + 1, accepted, finished);
     }
 }
@@ -268,10 +291,12 @@ void SymExec::exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t fr
             }
             case Stmt::Kind::if_stmt: {
                 const SExpr cond = eval(*s.cond, state);
+                const bool then_viable = !sv_is_false(cond);
                 // Fork; each branch finishes the remainder of this body.
-                if (!sv_is_false(cond)) {
+                if (then_viable) {
                     State then_state = state;
                     then_state.condition = sv_land(then_state.condition, cond);
+                    then_state.branches.emplace_back(&s, true);
                     if (!sv_is_false(then_state.condition)) {
                         std::vector<State> after_then;
                         exec_body(s.then_body, 0, std::move(then_state), after_then);
@@ -281,9 +306,12 @@ void SymExec::exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t fr
                     }
                 }
                 const SExpr ncond = sv_lnot(cond);
-                if (!sv_is_false(ncond)) {
+                // The second live branch is a genuine fork and consumes
+                // exploration budget; the first continuation is free.
+                if (!sv_is_false(ncond) && (!then_viable || fork_budget())) {
                     State else_state = std::move(state);
                     else_state.condition = sv_land(else_state.condition, ncond);
+                    else_state.branches.emplace_back(&s, false);
                     if (!sv_is_false(else_state.condition)) {
                         std::vector<State> after_else;
                         exec_body(s.else_body, 0, std::move(else_state), after_else);
@@ -300,15 +328,16 @@ void SymExec::exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t fr
                 // the default) may run, with arbitrary action data.  Fork per
                 // action -- the sound over-approximation p4v uses absent
                 // control-plane assumptions.
-                if (static_cast<int>(out.size()) > options_.max_paths) {
-                    ++truncated_;
-                    return;
-                }
+                bool first_action = true;
                 for (const int action_id : table.actions) {
+                    // Every action beyond the first is a fork.
+                    if (!first_action && !fork_budget()) break;
+                    first_action = false;
                     const auto& action =
                         prog_.actions[static_cast<std::size_t>(action_id)];
                     State branch = state;
                     branch.table_choices.emplace_back(s.table, action_id);
+                    branch.actions_run.push_back(action_id);
                     // Fresh unconstrained action data per (table, action).
                     std::vector<SExpr> saved_params = branch.params;
                     std::vector<SExpr> saved_locals = branch.locals;
@@ -319,6 +348,7 @@ void SymExec::exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t fr
                             util::format("%s.%s.arg%zu#%d", table.name.c_str(),
                                          action.name.c_str(), p, fresh_counter_++)));
                     }
+                    branch.table_args.push_back(branch.params);
                     branch.locals.assign(action.local_widths.size(), nullptr);
                     for (std::size_t l = 0; l < action.local_widths.size(); ++l) {
                         branch.locals[l] = sv_const(Bitvec(action.local_widths[l]));
@@ -337,6 +367,7 @@ void SymExec::exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t fr
             case Stmt::Kind::call_action: {
                 const auto& action = prog_.actions[static_cast<std::size_t>(s.action)];
                 State branch = std::move(state);
+                branch.actions_run.push_back(s.action);
                 std::vector<SExpr> saved_params = branch.params;
                 std::vector<SExpr> saved_locals = branch.locals;
                 std::vector<SExpr> args;
@@ -425,7 +456,9 @@ void SymExec::exec_body(const std::vector<p4::ir::StmtPtr>& body, std::size_t fr
     out.push_back(std::move(state));
 }
 
-std::vector<SymPath> SymExec::run() {
+std::vector<SymPath> SymExec::run() { return explore().paths; }
+
+SymExecResult SymExec::explore() {
     std::vector<SymPath> finished;
     std::vector<State> accepted;
     run_parser(initial_state(), prog_.start_state, 0, accepted, finished);
@@ -449,14 +482,8 @@ std::vector<SymPath> SymExec::run() {
             // Drop branch.
             const SExpr drop_cond = sv_land(ing.condition, is_drop);
             if (!sv_is_false(drop_cond)) {
-                SymPath path;
-                path.condition = drop_cond;
-                path.headers = ing.headers;
-                path.end = PathEnd::dropped;
-                path.egress_assigned = ing.egress_assigned;
-                path.table_choices = ing.table_choices;
-                path.warnings = ing.warnings;
-                finished.push_back(std::move(path));
+                finished.push_back(
+                    finish_path(State(ing), drop_cond, PathEnd::dropped));
             }
             // Forward branch: run egress if present.
             const SExpr fwd_cond = sv_land(ing.condition, sv_lnot(is_drop));
@@ -482,29 +509,20 @@ std::vector<SymPath> SymExec::run() {
                 const SExpr drop2 = sv_eq(spec2, drop_spec);
                 const SExpr cond_drop2 = sv_land(eg.condition, drop2);
                 if (!sv_is_false(cond_drop2)) {
-                    SymPath path;
-                    path.condition = cond_drop2;
-                    path.headers = eg.headers;
-                    path.end = PathEnd::dropped;
-                    path.egress_assigned = eg.egress_assigned;
-                    path.table_choices = eg.table_choices;
-                    path.warnings = eg.warnings;
-                    finished.push_back(std::move(path));
+                    finished.push_back(
+                        finish_path(State(eg), cond_drop2, PathEnd::dropped));
                 }
                 const SExpr cond_fwd2 = sv_land(eg.condition, sv_lnot(drop2));
                 if (sv_is_false(cond_fwd2)) continue;
-                SymPath path;
-                path.condition = cond_fwd2;
-                path.headers = std::move(eg.headers);
-                path.end = PathEnd::forwarded;
-                path.egress_assigned = eg.egress_assigned;
-                path.table_choices = std::move(eg.table_choices);
-                path.warnings = std::move(eg.warnings);
-                finished.push_back(std::move(path));
+                finished.push_back(
+                    finish_path(std::move(eg), cond_fwd2, PathEnd::forwarded));
             }
         }
     }
-    return finished;
+    SymExecResult result;
+    result.paths = std::move(finished);
+    result.paths_exhausted = truncated_ > 0;
+    return result;
 }
 
 SExpr SymExec::field(const SymPath& path, FieldRef ref) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "p4/ir.h"
@@ -30,6 +31,14 @@ struct SymHeader {
     std::vector<SExpr> fields;
 };
 
+// One stretch of packet bytes the parser consumed, in wire order.
+// `header >= 0` means the whole header instance was extracted there;
+// `header == -1` is skipped (advanced-over) bits with no field backing.
+struct WireChunk {
+    int header = -1;
+    int bits = 0;
+};
+
 struct SymPath {
     SExpr condition;                 // conjunction of branch constraints
     std::vector<SymHeader> headers;  // state at the end of the path
@@ -38,7 +47,32 @@ struct SymPath {
     std::vector<std::pair<int, int>> table_choices;  // (table id, action id)
     std::vector<std::string> warnings;  // e.g. reads of possibly-invalid headers
 
+    // --- execution trace, mirrors the coverage instrumentation sites ---
+    // Parser transitions taken, (from, to) with to possibly kAccept/kReject.
+    std::vector<std::pair<int, int>> parser_edges;
+    // State the parser terminated in: kAccept or kReject.
+    int final_parser_state = p4::ir::kAccept;
+    // Every if_stmt evaluated, with the direction taken.  Stmt pointers are
+    // stable (the IR is owned by the Program) and map to coverage ordinals
+    // via p4::ir::number_branches.
+    std::vector<std::pair<const p4::ir::Stmt*, bool>> branches;
+    // Every action body entered (table hits and direct calls), in order.
+    std::vector<int> actions_run;
+    // Wire layout the parser consumed, in order.
+    std::vector<WireChunk> wire;
+    // Fresh action-data variables per table choice; parallel to
+    // table_choices.  Needed because fresh-var names embed a counter, so a
+    // later model lookup by name cannot reconstruct them.
+    std::vector<std::vector<SExpr>> table_args;
+
     std::string describe(const p4::ir::Program& prog) const;
+};
+
+struct SymExecResult {
+    std::vector<SymPath> paths;
+    // True when exploration hit max_paths and dropped work: an edge with no
+    // covering path in `paths` is then "not found", never "unreachable".
+    bool paths_exhausted = false;
 };
 
 struct SymExecOptions {
@@ -57,6 +91,9 @@ public:
     // Explores the whole program; returns all syntactically feasible paths
     // (callers filter with the solver if they need semantic feasibility).
     std::vector<SymPath> run();
+
+    // Like run(), but also reports whether max_paths truncated the search.
+    SymExecResult explore();
 
     // Final value of a field on a path.
     SExpr field(const SymPath& path, p4::ir::FieldRef ref) const;
@@ -77,10 +114,33 @@ private:
         bool egress_assigned = false;
         std::vector<std::pair<int, int>> table_choices;
         std::vector<std::string> warnings;
+        std::vector<std::pair<int, int>> parser_edges;
+        int final_parser_state = p4::ir::kAccept;
+        std::vector<std::pair<const p4::ir::Stmt*, bool>> branches;
+        std::vector<int> actions_run;
+        std::vector<WireChunk> wire;
+        std::vector<std::vector<SExpr>> table_args;
     };
+
+    // Copies the shared trace/bookkeeping fields of `st` into a SymPath.
+    static SymPath finish_path(State&& st, SExpr condition, PathEnd end);
 
     State initial_state();
     SExpr input_var(const std::string& name, int width);
+
+    // Charges one unit of the max_paths exploration budget for an extra
+    // branch at a fork site (parser select case, if-statement second side,
+    // table action beyond the first).  Returns false -- and records the
+    // truncation -- once the budget is spent, so explore() can report that
+    // missing paths mean "not found within budget", never "unreachable".
+    bool fork_budget() {
+        if (forks_ >= options_.max_paths) {
+            ++truncated_;
+            return false;
+        }
+        ++forks_;
+        return true;
+    }
 
     void run_parser(State state, int state_id, int depth, std::vector<State>& accepted,
                     std::vector<SymPath>& finished);
@@ -94,6 +154,7 @@ private:
     VarPool& pool_;
     SymExecOptions options_;
     int truncated_ = 0;
+    int forks_ = 0;  // fork-budget units consumed (see fork_budget())
     int fresh_counter_ = 0;
 };
 

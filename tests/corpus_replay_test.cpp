@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "coverage/coverage.h"
 
 #ifndef NDB_CORPUS_DIR
 #error "NDB_CORPUS_DIR must point at tests/corpus"
@@ -30,6 +31,10 @@ struct CorpusEntry {
     // replays through CampaignConfig::mutation_recipe instead of a bare
     // seed.  Absent on pre-mutation corpus files (backward compatible).
     std::string mutate;
+    // Optional concolic parentage: the entry is a solver-synthesized seed
+    // ('@'-headed ConcolicRecipe; `seed` is its target coverage slot) and
+    // must both reproduce its divergence and re-light that slot.
+    std::string concolic;
 };
 
 // Parses a quirk signature ("a+b=2+c", as produced by Quirks::signature())
@@ -85,6 +90,7 @@ std::vector<CorpusEntry> load_corpus() {
             else if (key == "quirks") entry.quirks_signature = value;
             else if (key == "stage") entry.stage = value;
             else if (key == "mutate") entry.mutate = value;
+            else if (key == "concolic") entry.concolic = value;
         }
         entries.push_back(std::move(entry));
     }
@@ -119,9 +125,25 @@ TEST_P(CorpusReplay, EveryKnownDivergenceStillTriggers) {
         config.programs = {entry.program};
         config.duts = {core::BackendSpec{entry.backend, quirks, "dut"}};
         config.engine = GetParam();
-        config.mutation_recipe = entry.mutate;  // "" = fresh-seed replay
+        // "" = fresh-seed replay; the mutate/concolic grammars are mutually
+        // unparseable ('#' vs '@' head), so one field carries either.
+        config.mutation_recipe =
+            entry.concolic.empty() ? entry.mutate : entry.concolic;
+        coverage::CoverageMap map;
+        if (!entry.concolic.empty()) {
+            config.coverage = true;
+            config.coverage_map_out = &map;
+        }
         core::CampaignEngine engine(config);
         const core::CampaignReport report = engine.run();
+
+        if (!entry.concolic.empty()) {
+            // A concolic entry's seed IS its target coverage slot; the
+            // replayed scenario must still light it on this engine.
+            EXPECT_EQ(report.scenarios_concolic, 1u);
+            EXPECT_GT(map.count(static_cast<std::uint32_t>(entry.seed)), 0u)
+                << "synthesized seed no longer lights its target slot";
+        }
 
         ASSERT_EQ(report.divergences.size(), 1u)
             << "known-bug scenario no longer diverges\n"

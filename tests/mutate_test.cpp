@@ -129,6 +129,105 @@ TEST(ScenarioCorpus, AddDedupAndLoadDir) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(ConcolicRecipe, EncodeParseRoundTripAndStrictRejection) {
+    core::ConcolicRecipe recipe;
+    recipe.program = "deep_parser";
+    recipe.slot = 2044;
+    recipe.ingress_port = 3;
+    recipe.packet = {0x88, 0x47, 0x00, 0x01};
+    recipe.defaults.push_back({"label_fib", "pop_forward", {{0x01, 0xff}}});
+    recipe.defaults.push_back({"other", "NoAction", {}});
+
+    const std::string text = recipe.encode();
+    const auto parsed = core::ConcolicRecipe::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->program, recipe.program);
+    EXPECT_EQ(parsed->slot, recipe.slot);
+    EXPECT_EQ(parsed->ingress_port, recipe.ingress_port);
+    EXPECT_EQ(parsed->packet, recipe.packet);
+    ASSERT_EQ(parsed->defaults.size(), 2u);
+    EXPECT_EQ(parsed->defaults[0].args, recipe.defaults[0].args);
+    EXPECT_EQ(parsed->encode(), text);
+
+    // A mutation recipe never parses as concolic and vice versa: the two
+    // grammars have different head separators.
+    EXPECT_FALSE(core::ConcolicRecipe::parse("prog#1|byte:3:7"));
+    EXPECT_FALSE(core::MutationRecipe::parse(text));
+
+    // Every structural defect rejects the whole text.
+    EXPECT_FALSE(core::ConcolicRecipe::parse(""));
+    EXPECT_FALSE(core::ConcolicRecipe::parse("deep_parser"));
+    EXPECT_FALSE(core::ConcolicRecipe::parse("@7|port:0|pkt:00"));       // no program
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@x|port:0|pkt:00"));      // bad slot
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:z|pkt:00"));      // bad port
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|pkt:00"));             // no port
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0"));             // no packet
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0|pkt:0"));       // odd hex
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0|pkt:0g"));      // non-hex
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0|pkt:00|def:"));  // empty def
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0|pkt:00|def:t"));  // no action
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0|pkt:00|def:t:a:xyz"));
+    EXPECT_FALSE(core::ConcolicRecipe::parse("p@7|port:0|pkt:00|bogus:1"));
+}
+
+// Adversarial `.corpus` inputs: every malformed file is rejected with a
+// diagnostic -- never a crash, never a silent skip.
+TEST(ScenarioCorpus, MalformedFilesAreRejectedWithDiagnostics) {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ndb_corpus_adversarial_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto write = [&dir](const char* name, const std::string& body) {
+        std::ofstream out(dir / name);
+        out << body;
+    };
+
+    // One valid concolic entry rides along to prove loading still works.
+    write("a_good.corpus",
+          "seed=7\nprogram=reject_filter\nconcolic=reject_filter@7|port:0|pkt:0088\n");
+    write("b_no_separator.corpus", "seed=1\nprogram=reject_filter\njunk line\n");
+    write("c_unknown_key.corpus", "seed=1\nprogram=reject_filter\ncolor=red\n");
+    write("d_missing_seed.corpus", "program=reject_filter\n");
+    write("e_bad_concolic.corpus",
+          "seed=1\nprogram=reject_filter\nconcolic=reject_filter@1|port:0|pkt:0g\n");
+    write("f_both_kinds.corpus",
+          "seed=1\nprogram=reject_filter\nmutate=reject_filter#1|byte:1:1\n"
+          "concolic=reject_filter@1|port:0|pkt:00\n");
+    write("g_wrong_program.corpus",
+          "seed=1\nprogram=reject_filter\nconcolic=deep_parser@1|port:0|pkt:00\n");
+    write("h_slot_mismatch.corpus",
+          "seed=2\nprogram=reject_filter\nconcolic=reject_filter@1|port:0|pkt:00\n");
+    write("i_truncated.corpus", "seed=\nprogram=reject_filter\n");
+    write("j_binary_noise.corpus", "\x01\x02\xff\xfe no equals\n");
+
+    core::ScenarioCorpus corpus;
+    EXPECT_EQ(corpus.load_dir(dir.string(), {"reject_filter"}), 1u);
+    ASSERT_EQ(corpus.entries("reject_filter").size(), 1u);
+    EXPECT_TRUE(corpus.entries("reject_filter")[0].concolic);
+    EXPECT_EQ(corpus.entries("reject_filter")[0].seed, 7u);
+
+    // One diagnostic per damaged file, in file order, naming the file.
+    const auto& diags = corpus.diagnostics();
+    ASSERT_EQ(diags.size(), 9u);
+    const char* expect_prefix[] = {
+        "b_no_separator.corpus", "c_unknown_key.corpus",
+        "d_missing_seed.corpus", "e_bad_concolic.corpus",
+        "f_both_kinds.corpus",   "g_wrong_program.corpus",
+        "h_slot_mismatch.corpus", "i_truncated.corpus",
+        "j_binary_noise.corpus",
+    };
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        EXPECT_EQ(diags[i].rfind(expect_prefix[i], 0), 0u) << diags[i];
+    }
+
+    // A later clean load clears the previous run's diagnostics.
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    EXPECT_EQ(corpus.load_dir(dir.string(), {"reject_filter"}), 0u);
+    EXPECT_TRUE(corpus.diagnostics().empty());
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Mutator, DeriveAndApplyAreDeterministic) {
     const core::SpecGenerator gen;
     const core::Mutator mutator(gen);

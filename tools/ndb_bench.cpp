@@ -232,9 +232,24 @@ std::vector<EngineBench> bench_tables(std::uint64_t target_lookups) {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--packets N] [--lookups N] [--seeds N] [--threads T]\n"
-                 "          [--out FILE] [--baseline FILE]\n",
+                 "          [--out FILE] [--baseline FILE] [--coverage-gate PCT]\n",
                  argv0);
     return 2;
+}
+
+// Strict numeric option parsing: non-numeric text, trailing junk, overflow
+// and zero are usage errors, never a silent 0-iteration benchmark (what
+// the old atoi/strtoull calls degenerated to).
+std::uint64_t parse_count(const char* flag, const char* text,
+                          std::uint64_t min_value, std::uint64_t max_value) {
+    std::uint64_t v = 0;
+    if (!ndb::util::parse_u64(text, v) || v < min_value || v > max_value) {
+        std::fprintf(stderr, "%s wants an integer in [%llu, %llu], got '%s'\n",
+                     flag, static_cast<unsigned long long>(min_value),
+                     static_cast<unsigned long long>(max_value), text);
+        std::exit(2);
+    }
+    return v;
 }
 
 // Pulls `"key": <number>` out of a flat JSON document (enough for the
@@ -270,19 +285,28 @@ int main(int argc, char** argv) {
             return argv[++i];
         };
         if (arg == "--packets") {
-            packets = std::strtoull(value(), nullptr, 10);
+            packets = parse_count("--packets", value(), 1, 1ull << 32);
         } else if (arg == "--lookups") {
-            lookups = std::strtoull(value(), nullptr, 10);
+            lookups = parse_count("--lookups", value(), 1, 1ull << 32);
         } else if (arg == "--seeds") {
-            seeds = std::strtoull(value(), nullptr, 10);
+            seeds = parse_count("--seeds", value(), 1, 1u << 24);
         } else if (arg == "--threads" || arg == "-j") {
-            threads = std::atoi(value());
+            threads =
+                static_cast<int>(parse_count("--threads", value(), 1, 64));
         } else if (arg == "--out" || arg == "-o") {
             out_path = value();
         } else if (arg == "--baseline") {
             baseline_path = value();
         } else if (arg == "--coverage-gate") {
-            coverage_gate_pct = std::strtod(value(), nullptr);
+            const char* text = value();
+            if (!ndb::util::parse_double(text, coverage_gate_pct) ||
+                coverage_gate_pct < 0.0 || coverage_gate_pct > 100.0) {
+                std::fprintf(stderr,
+                             "--coverage-gate wants a percentage in [0,100], "
+                             "got '%s'\n",
+                             text);
+                return 2;
+            }
         } else {
             return usage(argv[0]);
         }

@@ -28,6 +28,16 @@
 // soak_*.corpus recipes under --corpus-dir, default tests/corpus), where
 // corpus_replay_test replays them forever after -- mutate= recipe line
 // included when the finding came out of the mutation engine.
+//
+// --concolic closes the hybrid loop (implies --coverage): at every guided
+// round barrier, coverage slots still dark on the reference device are
+// mapped back to IR sites, handed to the symbolic layer, and every solved
+// seed that provably re-lights its slot is injected into the corpus and
+// scheduled ahead of the next round (report lines `concolic+ <recipe>`).
+//
+// --replay RECIPE runs exactly one recorded scenario -- an encoded
+// MutationRecipe ('#' head) or ConcolicRecipe ('@' head) -- through the
+// ordinary detection/triage path.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,9 +64,25 @@ int usage(const char* argv0) {
                  "          [--engine interp|compiled]\n"
                  "          [--no-localize] [--no-minimize] [--out FILE]\n"
                  "          [--coverage] [--mutate] [--mutation-rate F]\n"
-                 "          [--soak N] [--corpus-dir DIR]\n",
+                 "          [--concolic] [--concolic-per-round N]\n"
+                 "          [--soak N] [--corpus-dir DIR] [--replay RECIPE]\n",
                  argv0);
     return 2;
+}
+
+// Strict numeric option parsing: non-numeric text, trailing junk, overflow
+// and out-of-range values are usage errors, never silently zero (what the
+// old atoi/strtoull calls degenerated to).
+std::uint64_t parse_count(const char* flag, const char* text,
+                          std::uint64_t min_value, std::uint64_t max_value) {
+    std::uint64_t v = 0;
+    if (!ndb::util::parse_u64(text, v) || v < min_value || v > max_value) {
+        std::fprintf(stderr, "%s wants an integer in [%llu, %llu], got '%s'\n",
+                     flag, static_cast<unsigned long long>(min_value),
+                     static_cast<unsigned long long>(max_value), text);
+        std::exit(2);
+    }
+    return v;
 }
 
 }  // namespace
@@ -81,13 +107,15 @@ int main(int argc, char** argv) {
             return argv[++i];
         };
         if (arg == "--seeds" || arg == "-n") {
-            config.scenarios = std::strtoull(value(), nullptr, 10);
+            config.scenarios = parse_count("--seeds", value(), 1, 1u << 24);
         } else if (arg == "--seed") {
-            config.base_seed = std::strtoull(value(), nullptr, 10);
+            config.base_seed = parse_count("--seed", value(), 0, UINT64_MAX);
         } else if (arg == "--threads" || arg == "-j") {
-            config.threads = std::atoi(value());
+            config.threads =
+                static_cast<int>(parse_count("--threads", value(), 1, 64));
         } else if (arg == "--batch") {
-            config.batch_size = std::strtoull(value(), nullptr, 10);
+            config.batch_size = static_cast<std::size_t>(
+                parse_count("--batch", value(), 1, 1u << 20));
         } else if (arg == "--programs") {
             config.programs = split_csv(value());
         } else if (arg == "--backends") {
@@ -114,18 +142,23 @@ int main(int argc, char** argv) {
             // Strict: a typo here would silently degenerate the greybox
             // loop to fresh-seed guided mode.
             const char* text = value();
-            char* end = nullptr;
-            config.mutation_rate = std::strtod(text, &end);
-            if (end == text || *end != '\0' || config.mutation_rate < 0.0 ||
-                config.mutation_rate > 1.0) {
+            if (!util::parse_double(text, config.mutation_rate) ||
+                config.mutation_rate < 0.0 || config.mutation_rate > 1.0) {
                 std::fprintf(stderr, "--mutation-rate wants a number in [0,1], got '%s'\n",
                              text);
                 return 2;
             }
+        } else if (arg == "--concolic") {
+            config.concolic = true;  // implies the guided scheduler
+        } else if (arg == "--concolic-per-round") {
+            config.concolic_per_round =
+                parse_count("--concolic-per-round", value(), 1, 1024);
+        } else if (arg == "--replay") {
+            config.mutation_recipe = value();
         } else if (arg == "--soak") {
             soak = true;
             config.coverage = true;  // soaking wants the guided scheduler
-            config.scenarios = std::strtoull(value(), nullptr, 10);
+            config.scenarios = parse_count("--soak", value(), 1, 1u << 24);
         } else if (arg == "--corpus-dir") {
             corpus_dir = value();
         } else if (arg == "--no-localize") {
