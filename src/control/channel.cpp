@@ -2,7 +2,19 @@
 
 #include <stdexcept>
 
+#include "control/transport.h"
+
 namespace ndb::control {
+
+const char* payload_name(Response::Payload payload) {
+    switch (payload) {
+        case Response::Payload::none: return "none";
+        case Response::Payload::register_value: return "register_value";
+        case Response::Payload::counter_value: return "counter_value";
+        case Response::Payload::snapshot: return "snapshot";
+    }
+    return "?";
+}
 
 Response dispatch(RuntimeApi& device, const Request& request) {
     Response resp;
@@ -22,13 +34,20 @@ Response dispatch(RuntimeApi& device, const Request& request) {
             } else if constexpr (std::is_same_v<T, ReadRegisterReq>) {
                 resp.status = device.read_register(req.name, req.index,
                                                    resp.register_value);
+                if (resp.status.ok) {
+                    resp.payload = Response::Payload::register_value;
+                }
             } else if constexpr (std::is_same_v<T, ReadCounterReq>) {
                 resp.status = device.read_counter(req.name, req.index,
                                                   resp.counter_value);
+                if (resp.status.ok) {
+                    resp.payload = Response::Payload::counter_value;
+                }
             } else if constexpr (std::is_same_v<T, ConfigureMeterReq>) {
                 resp.status = device.configure_meter(req.name, req.index, req.config);
             } else if constexpr (std::is_same_v<T, SnapshotReq>) {
                 resp.snapshot = device.snapshot();
+                resp.payload = Response::Payload::snapshot;
             } else if constexpr (std::is_same_v<T, ResetReq>) {
                 resp.status = device.reset_state();
             }
@@ -38,6 +57,9 @@ Response dispatch(RuntimeApi& device, const Request& request) {
 }
 
 Response Channel::transact(const Request& request) {
+    // An unbound handler is a caller error, but it must surface as a
+    // diagnostic Status -- invoking the empty std::function would throw
+    // std::bad_function_call out of every management call site.
     if (!handler_) {
         Response resp;
         resp.status = Status::failure("control channel not bound to a device");
@@ -47,54 +69,77 @@ Response Channel::transact(const Request& request) {
     return handler_(request);
 }
 
+Response RuntimeClient::transact(const Request& request) {
+    return channel_ ? channel_->transact(request) : wire_->transact(request);
+}
+
+Status RuntimeClient::expect_payload(const Response& response,
+                                     Response::Payload want) {
+    if (!response.status.ok) return response.status;
+    if (response.payload != want) {
+        return Status::failure(
+            std::string("response carried payload '") +
+            payload_name(response.payload) + "', expected '" +
+            payload_name(want) + "'");
+    }
+    return Status::success();
+}
+
 Status RuntimeClient::add_entry(const std::string& table, const EntrySpec& entry) {
-    return channel_.transact(AddEntryReq{table, entry}).status;
+    return transact(AddEntryReq{table, entry}).status;
 }
 
 Status RuntimeClient::delete_entry(const std::string& table, const EntrySpec& entry) {
-    return channel_.transact(DeleteEntryReq{table, entry}).status;
+    return transact(DeleteEntryReq{table, entry}).status;
 }
 
 Status RuntimeClient::set_default_action(const std::string& table,
                                          const std::string& action,
                                          const std::vector<Bitvec>& args) {
-    return channel_.transact(SetDefaultReq{table, action, args}).status;
+    return transact(SetDefaultReq{table, action, args}).status;
 }
 
 Status RuntimeClient::clear_table(const std::string& table) {
-    return channel_.transact(ClearTableReq{table}).status;
+    return transact(ClearTableReq{table}).status;
 }
 
 Status RuntimeClient::write_register(const std::string& name, std::uint64_t index,
                                      const Bitvec& value) {
-    return channel_.transact(WriteRegisterReq{name, index, value}).status;
+    return transact(WriteRegisterReq{name, index, value}).status;
 }
 
 Status RuntimeClient::read_register(const std::string& name, std::uint64_t index,
                                     Bitvec& out) {
-    Response resp = channel_.transact(ReadRegisterReq{name, index});
-    out = resp.register_value;
-    return resp.status;
+    const Response resp = transact(ReadRegisterReq{name, index});
+    const Status st = expect_payload(resp, Response::Payload::register_value);
+    if (st.ok) out = resp.register_value;
+    return st;
 }
 
 Status RuntimeClient::read_counter(const std::string& name, std::uint64_t index,
                                    CounterValue& out) {
-    Response resp = channel_.transact(ReadCounterReq{name, index});
-    out = resp.counter_value;
-    return resp.status;
+    const Response resp = transact(ReadCounterReq{name, index});
+    const Status st = expect_payload(resp, Response::Payload::counter_value);
+    if (st.ok) out = resp.counter_value;
+    return st;
 }
 
 Status RuntimeClient::configure_meter(const std::string& name, std::uint64_t index,
                                       const MeterConfig& config) {
-    return channel_.transact(ConfigureMeterReq{name, index, config}).status;
+    return transact(ConfigureMeterReq{name, index, config}).status;
 }
 
 StatusSnapshot RuntimeClient::snapshot() {
-    return channel_.transact(SnapshotReq{}).snapshot;
+    // snapshot() has no Status in its RuntimeApi signature; a response with
+    // the wrong payload yields the empty snapshot (all-zero counters), which
+    // campaign detection treats like any other observable difference.
+    const Response resp = transact(SnapshotReq{});
+    if (resp.payload != Response::Payload::snapshot) return StatusSnapshot{};
+    return resp.snapshot;
 }
 
 Status RuntimeClient::reset_state() {
-    return channel_.transact(ResetReq{}).status;
+    return transact(ResetReq{}).status;
 }
 
 }  // namespace ndb::control

@@ -65,11 +65,26 @@ using Request = std::variant<AddEntryReq, DeleteEntryReq, SetDefaultReq,
 // --- response -------------------------------------------------------------------
 
 struct Response {
+    // Which optional field below actually carries data.  Callers used to
+    // have to know which field was live from the request they sent; the
+    // explicit discriminator makes a mismatched (or corrupted-in-flight)
+    // response a detectable protocol error instead of silently-default
+    // garbage.
+    enum class Payload : std::uint8_t {
+        none = 0,
+        register_value = 1,
+        counter_value = 2,
+        snapshot = 3,
+    };
+
     Status status;
-    Bitvec register_value;       // ReadRegisterReq
-    CounterValue counter_value;  // ReadCounterReq
-    StatusSnapshot snapshot;     // SnapshotReq
+    Payload payload = Payload::none;
+    Bitvec register_value;       // payload == register_value
+    CounterValue counter_value;  // payload == counter_value
+    StatusSnapshot snapshot;     // payload == snapshot
 };
+
+const char* payload_name(Response::Payload payload);
 
 // Executes one request against a device runtime.
 Response dispatch(RuntimeApi& device, const Request& request);
@@ -92,11 +107,19 @@ private:
     std::uint64_t requests_ = 0;
 };
 
-// RuntimeApi implementation that tunnels every call through a Channel,
-// giving the host tool location transparency.
+class WireChannel;  // control/transport.h: the faultable wire-protocol channel
+
+// RuntimeApi implementation that tunnels every call through a channel,
+// giving the host tool location transparency.  Two bindings exist: the
+// in-process Channel above (a direct function call), and WireChannel
+// (control/transport.h), which serializes every request into a wire frame,
+// survives injected link faults via sequence-numbered retries, and returns
+// first-class Status failures -- "wire: request timed out", "wire: response
+// carried the wrong payload" -- instead of default-constructed garbage.
 class RuntimeClient final : public RuntimeApi {
 public:
-    explicit RuntimeClient(Channel& channel) : channel_(channel) {}
+    explicit RuntimeClient(Channel& channel) : channel_(&channel) {}
+    explicit RuntimeClient(WireChannel& channel) : wire_(&channel) {}
 
     Status add_entry(const std::string& table, const EntrySpec& entry) override;
     Status delete_entry(const std::string& table, const EntrySpec& entry) override;
@@ -115,7 +138,15 @@ public:
     Status reset_state() override;
 
 private:
-    Channel& channel_;
+    // Sends through whichever channel this client was bound to.
+    Response transact(const Request& request);
+    // Shared guard for the read-style calls: a success response whose
+    // payload discriminator does not match `want` is a protocol error.
+    static Status expect_payload(const Response& response,
+                                 Response::Payload want);
+
+    Channel* channel_ = nullptr;
+    WireChannel* wire_ = nullptr;
 };
 
 }  // namespace ndb::control

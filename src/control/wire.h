@@ -1,0 +1,176 @@
+// Wire-protocol frame codec for the management plane.
+//
+// Serializes control::Request/Response (and the campaign fabric's job
+// traffic) into length-prefixed, versioned, checksummed binary frames, so
+// the paper's "dedicated management interface" is a real byte protocol that
+// can cross a process boundary -- and, just as importantly, one that a
+// fault injector can drop, truncate, corrupt and reorder.  Decoding is
+// strict and diagnostic-rich: every malformed input is rejected with a
+// human-readable reason, never a crash or a silently-wrong value (the same
+// hardening recipe the corpus recipe parsers follow).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic      0x4244'4e57 ("WNDB")
+//        4     1  version    kVersion
+//        5     1  kind       FrameKind
+//        6     8  seq        request/response correlation number
+//       14     4  len        payload byte count, <= kMaxPayloadBytes
+//       18     8  checksum   FNV-1a over bytes [0, 18) plus the payload
+//       26   len  payload
+//
+// The checksum covers the header fields, so a frame whose length field was
+// bit-flipped in flight cannot trick the receiver into mis-framing the
+// stream: FrameReader rejects it and resynchronizes on the next magic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "control/channel.h"
+
+namespace ndb::control::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4244'4e57u;  // "WNDB" on the wire
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 26;
+inline constexpr std::size_t kMaxPayloadBytes = 1u << 20;
+
+// Inner-payload hard limits: a decoder must never let a hostile length
+// field drive an allocation it cannot afford.
+inline constexpr std::size_t kMaxStringBytes = 1u << 16;
+inline constexpr std::size_t kMaxSequenceItems = 4096;
+inline constexpr int kMaxBitvecBits = 1 << 20;
+
+enum class FrameKind : std::uint8_t {
+    control_request = 1,   // payload: encoded Request
+    control_response = 2,  // payload: encoded Response
+    job = 3,               // fabric: shard dispatch (parent -> worker)
+    job_result = 4,        // fabric: shard outcomes (worker -> parent)
+    heartbeat = 5,         // fabric: liveness probe (parent -> worker)
+    heartbeat_ack = 6,     // fabric: liveness answer (worker -> parent)
+    shutdown = 7,          // fabric: orderly worker exit
+};
+const char* frame_kind_name(FrameKind kind);
+
+struct Frame {
+    FrameKind kind = FrameKind::control_request;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+// Outcome of a strict decode: ok(), or a reason a human can act on.
+struct Decode {
+    bool ok = true;
+    std::string reason;
+
+    static Decode good() { return {}; }
+    static Decode bad(std::string why) { return {false, std::move(why)}; }
+    explicit operator bool() const { return ok; }
+};
+
+// --- frame codec --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+// Decodes exactly one frame occupying the whole buffer; trailing bytes are
+// an error (stream consumers use FrameReader instead).
+Decode decode_frame(std::span<const std::uint8_t> bytes, Frame& out);
+
+// Incremental frame extraction from an untrusted byte stream.  Bytes that
+// do not validate -- garbage between frames, frames with a bad version or
+// checksum, truncated tails of corrupted frames -- are skipped by scanning
+// forward to the next magic, so one mangled frame never poisons the rest
+// of the stream.
+class FrameReader {
+public:
+    struct Stats {
+        std::uint64_t frames = 0;           // well-formed frames extracted
+        std::uint64_t corrupt_frames = 0;   // headers/checksums rejected
+        std::uint64_t resyncs = 0;          // forward scans to a new magic
+        std::uint64_t bytes_skipped = 0;    // garbage bytes discarded
+        std::string last_error;             // most recent rejection reason
+    };
+
+    void feed(std::span<const std::uint8_t> bytes);
+
+    // Extracts the next well-formed frame; false when the buffered bytes
+    // hold no complete frame (feed more and try again).
+    bool next(Frame& out);
+
+    const Stats& stats() const { return stats_; }
+    std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t pos_ = 0;
+    Stats stats_;
+};
+
+// --- payload primitives -------------------------------------------------------
+
+// Bounds-checked little-endian serializer, shared by the Request/Response
+// codec and the fabric's job/result messages.
+class Writer {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void f64(double v);  // IEEE-754 bit pattern
+    void str(std::string_view s);
+    void bitvec(const util::Bitvec& v);
+    void bytes(std::span<const std::uint8_t> b);
+
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    const std::vector<std::uint8_t>& data() const { return buf_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+// Strict cursor over an untrusted payload.  Every getter returns false and
+// records a reason once the input is exhausted or malformed; the first
+// failure sticks, so callers can chain reads and check once.
+class Reader {
+public:
+    explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    bool u8(std::uint8_t& out);
+    bool u32(std::uint32_t& out);
+    bool u64(std::uint64_t& out);
+    bool i32(std::int32_t& out);
+    bool f64(double& out);
+    bool str(std::string& out);
+    bool bitvec(util::Bitvec& out);
+
+    // Sequence header: reads a u32 count and rejects anything above `cap`.
+    bool count(std::uint32_t& out, std::size_t cap = kMaxSequenceItems);
+
+    bool ok() const { return error_.empty(); }
+    // True when every byte has been consumed (strict decodes require it).
+    bool done() const { return ok() && pos_ == bytes_.size(); }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    const std::string& error() const { return error_; }
+    bool fail(std::string reason);
+
+private:
+    bool need(std::size_t n, const char* what);
+
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+// --- request/response payload codec -------------------------------------------
+
+std::vector<std::uint8_t> encode_request(const Request& request);
+Decode decode_request(std::span<const std::uint8_t> payload, Request& out);
+
+std::vector<std::uint8_t> encode_response(const Response& response);
+Decode decode_response(std::span<const std::uint8_t> payload, Response& out);
+
+}  // namespace ndb::control::wire

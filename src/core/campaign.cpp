@@ -14,6 +14,7 @@
 
 #include "core/generator.h"
 #include "core/mutate.h"
+#include "core/scenario_exec.h"
 #include "coverage/coverage.h"
 #include "coverage/edge_index.h"
 #include "coverage/scheduler.h"
@@ -26,281 +27,9 @@ namespace ndb::core {
 
 namespace {
 
-// Injection timeline: fixed epoch + one 84-byte wire slot per packet, the
-// same on every device.  Pinning rx_time explicitly (instead of letting each
-// device stamp its own clock) keeps scenario behaviour independent of how
-// many scenarios a worker's reused devices have already processed -- the
-// determinism-under-sharding contract depends on it.
-constexpr std::uint64_t kEpochNs = 1'000'000;
-constexpr std::uint64_t kSlotNs = 672;
-
 // Decorrelates the fresh-vs-mutant coin (and parent pick) from both the
 // scenario seed stream and the mutation-derivation stream.
 constexpr std::uint64_t kMutateCoinSalt = 0x636f696e666c6970ull;  // "coinflip"
-
-struct StreamItem {
-    std::uint32_t port = 0;
-    packet::Packet pkt;
-};
-
-// The per-packet view of the internal stage taps is dataplane::TapDigest,
-// hashed in place by the pipeline's streaming digest mode.  This is the
-// paper's visibility advantage made part of *detection*: bugs like a
-// depth-limited parser leave the output bytes untouched (unparsed headers
-// ride through as payload) and only the in-device state betrays them.
-using dataplane::TapDigest;
-
-// Everything observable from running one scenario on one device.
-struct DeviceRun {
-    std::vector<bool> config_ok;
-    std::vector<StreamItem> observed;
-    std::vector<TapDigest> taps;  // empty when the device cannot record
-    control::StatusSnapshot snapshot;
-    std::uint64_t injected = 0;
-};
-
-// The pre-triage core of a finding.
-struct RawDivergence {
-    std::string kind;
-    std::string detail;
-    std::uint64_t first_diverging_packet = 0;
-};
-
-struct ScenarioOutcome {
-    std::uint64_t packets = 0;  // inject() calls issued, triage included
-    std::vector<DivergenceRecord> findings;
-    // Reference-device coverage of the detection run (guided mode only;
-    // heap-held so uniform sweeps don't pay 16 KiB per outcome slot).
-    std::unique_ptr<coverage::CoverageMap> coverage;
-    // Per-DUT coverage of the same detection run, parallel to the sweep's
-    // backend list.  Each device salts its edges by backend identity, so a
-    // quirk that bends execution onto a different path lights slots no
-    // reference run can -- DUT-side novelty the scheduler can reward.
-    std::vector<std::unique_ptr<coverage::CoverageMap>> dut_coverage;
-};
-
-std::uint64_t stamp_seq(const packet::Packet& pkt) {
-    std::uint64_t seq = 0, t = 0;
-    return TestPacketGenerator::read_stamp(pkt, seq, t) ? seq : 0;
-}
-
-DeviceRun run_scenario_on(target::Device& dev, const Scenario& sc,
-                          const std::vector<packet::Packet>& packets,
-                          std::size_t batch_size) {
-    DeviceRun run;
-    if (!dev.load(*sc.compiled)) {
-        throw std::runtime_error("campaign: device refused catalogue program " +
-                                 sc.program);
-    }
-    run.config_ok.reserve(sc.config.size());
-    for (const auto& op : sc.config) {
-        run.config_ok.push_back(static_cast<bool>(apply_config_op(dev, op)));
-    }
-    // Streaming digest mode: the pipeline hashes each stage's state in
-    // place, so detection gets the tap signal without a single PacketState
-    // copy (full taps stay reserved for FaultLocalizer replay).
-    dev.set_digests_enabled(true);
-    const std::size_t batch = std::max<std::size_t>(1, batch_size);
-    std::vector<packet::Packet> drained;  // reused across every drain round
-    std::size_t i = 0;
-    while (i < packets.size()) {
-        const std::size_t end = std::min(i + batch, packets.size());
-        for (; i < end; ++i) {
-            dev.inject(packets[i]);
-            ++run.injected;
-        }
-        // One queue sweep per batch amortizes the drain round-trip.
-        for (int p = 0; p < dev.config().num_ports; ++p) {
-            drained.clear();
-            dev.drain_port_into(static_cast<std::uint32_t>(p), drained);
-            for (auto& out : drained) {
-                run.observed.push_back({static_cast<std::uint32_t>(p), std::move(out)});
-            }
-        }
-    }
-    // Collect the digest ring (synchronous recording: one record per
-    // injection when the device can record at all).
-    std::vector<TapDigest> records = dev.take_digest_records();
-    if (records.size() == packets.size()) {
-        run.taps = std::move(records);
-    }
-    dev.set_digests_enabled(false);
-    run.snapshot = dev.snapshot();
-    return run;
-}
-
-// First observable difference between a DUT run and the reference run, in
-// causal order: control-plane acceptance, then the output stream, then the
-// internal status counters.
-std::optional<RawDivergence> diff_runs(const DeviceRun& dut, const DeviceRun& ref) {
-    for (std::size_t i = 0; i < dut.config_ok.size() && i < ref.config_ok.size();
-         ++i) {
-        if (dut.config_ok[i] != ref.config_ok[i]) {
-            return RawDivergence{
-                "config",
-                util::format("config op #%zu: dut=%s golden=%s", i,
-                             dut.config_ok[i] ? "ok" : "rejected",
-                             ref.config_ok[i] ? "ok" : "rejected"),
-                0};
-        }
-    }
-
-    // Static table shape is control-plane visible before any packet flows:
-    // a clamped capacity or a rejected insert shows up here.
-    for (std::size_t i = 0;
-         i < dut.snapshot.tables.size() && i < ref.snapshot.tables.size(); ++i) {
-        const auto& dt = dut.snapshot.tables[i];
-        const auto& gt = ref.snapshot.tables[i];
-        if (dt.capacity != gt.capacity || dt.entries != gt.entries) {
-            return RawDivergence{
-                "config",
-                util::format("table %s shape: dut entries=%llu/%llu golden "
-                             "entries=%llu/%llu",
-                             dt.name.c_str(),
-                             static_cast<unsigned long long>(dt.entries),
-                             static_cast<unsigned long long>(dt.capacity),
-                             static_cast<unsigned long long>(gt.entries),
-                             static_cast<unsigned long long>(gt.capacity)),
-                0};
-        }
-    }
-
-    // Internal visibility first: the taps see divergences (wrong parser
-    // verdict, clobbered state) that output bytes can hide entirely.  Only
-    // comparable when both devices recorded the full stream.
-    if (!dut.taps.empty() && dut.taps.size() == ref.taps.size()) {
-        for (std::size_t i = 0; i < dut.taps.size(); ++i) {
-            const TapDigest& d = dut.taps[i];
-            const TapDigest& g = ref.taps[i];
-            if (d == g) continue;
-            std::string what;
-            if (d.verdict != g.verdict) {
-                what = util::format("parser verdict dut=%s golden=%s",
-                                    dataplane::parser_verdict_name(d.verdict),
-                                    dataplane::parser_verdict_name(g.verdict));
-            } else if (d.stage_hash[0] != g.stage_hash[0]) {
-                what = "state differs at the parser tap";
-            } else if (d.stage_hash[1] != g.stage_hash[1]) {
-                what = "state differs at the ingress tap";
-            } else if (d.stage_hash[2] != g.stage_hash[2]) {
-                what = "state differs at the egress tap";
-            } else if (d.disposition != g.disposition) {
-                what = util::format("disposition dut=%s golden=%s",
-                                    dataplane::disposition_name(d.disposition),
-                                    dataplane::disposition_name(g.disposition));
-            } else {
-                what = util::format("egress port dut=%u golden=%u", d.egress_port,
-                                    g.egress_port);
-            }
-            return RawDivergence{
-                "internal",
-                util::format("packet #%zu: %s", i + 1, what.c_str()),
-                static_cast<std::uint64_t>(i + 1)};
-        }
-    }
-
-    const std::size_t n = std::min(dut.observed.size(), ref.observed.size());
-    for (std::size_t i = 0; i < n; ++i) {
-        const StreamItem& d = dut.observed[i];
-        const StreamItem& g = ref.observed[i];
-        if (d.port != g.port) {
-            return RawDivergence{
-                "output",
-                util::format("output #%zu egress port: dut=%u golden=%u", i, d.port,
-                             g.port),
-                stamp_seq(g.pkt)};
-        }
-        if (!d.pkt.same_bytes(g.pkt)) {
-            return RawDivergence{
-                "output",
-                util::format("output #%zu bytes differ on port %u (%zuB vs %zuB)",
-                             i, d.port, d.pkt.size(), g.pkt.size()),
-                stamp_seq(g.pkt)};
-        }
-    }
-    if (dut.observed.size() != ref.observed.size()) {
-        const bool dut_longer = dut.observed.size() > ref.observed.size();
-        const StreamItem& extra =
-            dut_longer ? dut.observed[n] : ref.observed[n];
-        return RawDivergence{
-            "output",
-            util::format("output stream length: dut=%zu golden=%zu",
-                         dut.observed.size(), ref.observed.size()),
-            stamp_seq(extra.pkt)};
-    }
-
-    const auto& ds = dut.snapshot.stages;
-    const auto& gs = ref.snapshot.stages;
-    const struct {
-        const char* name;
-        std::uint64_t d, g;
-    } counters[] = {
-        {"parser_in", ds.parser_in, gs.parser_in},
-        {"parser_accepted", ds.parser_accepted, gs.parser_accepted},
-        {"parser_rejected", ds.parser_rejected, gs.parser_rejected},
-        {"parser_errors", ds.parser_errors, gs.parser_errors},
-        {"ingress_dropped", ds.ingress_dropped, gs.ingress_dropped},
-        {"egress_dropped", ds.egress_dropped, gs.egress_dropped},
-        {"forwarded", ds.forwarded, gs.forwarded},
-        {"misdirected", dut.snapshot.misdirected, ref.snapshot.misdirected},
-    };
-    for (const auto& c : counters) {
-        if (c.d != c.g) {
-            return RawDivergence{
-                "snapshot",
-                util::format("stage counter %s: dut=%llu golden=%llu", c.name,
-                             static_cast<unsigned long long>(c.d),
-                             static_cast<unsigned long long>(c.g)),
-                0};
-        }
-    }
-    for (std::size_t i = 0;
-         i < dut.snapshot.tables.size() && i < ref.snapshot.tables.size(); ++i) {
-        const auto& dt = dut.snapshot.tables[i];
-        const auto& gt = ref.snapshot.tables[i];
-        if (dt.hits != gt.hits || dt.misses != gt.misses) {
-            return RawDivergence{
-                "snapshot",
-                util::format("table %s: dut hits=%llu misses=%llu, golden "
-                             "hits=%llu misses=%llu",
-                             dt.name.c_str(),
-                             static_cast<unsigned long long>(dt.hits),
-                             static_cast<unsigned long long>(dt.misses),
-                             static_cast<unsigned long long>(gt.hits),
-                             static_cast<unsigned long long>(gt.misses)),
-                0};
-        }
-    }
-    return std::nullopt;
-}
-
-// Per-worker device pool: one reference instance plus one instance per DUT
-// backend, reused across every scenario the worker claims (load() replaces
-// the image and all dynamic state).
-struct WorkerContext {
-    std::unique_ptr<target::Device> reference;
-    std::vector<std::unique_ptr<target::Device>> duts;  // parallel to specs
-
-    WorkerContext(const std::string& reference_backend,
-                  const std::vector<BackendSpec>& specs,
-                  dataplane::Engine engine) {
-        reference = target::make_device(reference_backend);
-        if (!reference) {
-            throw std::invalid_argument("campaign: unknown reference backend '" +
-                                        reference_backend + "'");
-        }
-        reference->set_engine(engine);
-        for (const auto& spec : specs) {
-            auto dev = target::make_device(spec.name, spec.quirks);
-            if (!dev) {
-                throw std::invalid_argument("campaign: unknown backend '" +
-                                            spec.name + "'");
-            }
-            dev->set_engine(engine);
-            duts.push_back(std::move(dev));
-        }
-    }
-};
 
 // --- JSON helpers -------------------------------------------------------------
 
@@ -339,25 +68,39 @@ std::string json_string_array(const std::vector<std::string>& items) {
 
 // --- engine -------------------------------------------------------------------
 
-CampaignEngine::CampaignEngine(CampaignConfig config)
-    : config_(std::move(config)) {}
-
-CampaignReport CampaignEngine::run() {
-    std::vector<BackendSpec> duts = config_.duts;
+std::vector<BackendSpec> resolve_duts(const CampaignConfig& config) {
+    std::vector<BackendSpec> duts = config.duts;
     if (duts.empty()) {
         for (const auto& name : target::registered_backends()) {
-            if (name == config_.reference_backend) continue;
+            if (name == config.reference_backend) continue;
             duts.push_back(BackendSpec{name, std::nullopt, name});
         }
     }
     for (auto& d : duts) {
         if (d.label.empty()) d.label = d.name;
     }
+    return duts;
+}
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)) {}
+
+CampaignReport CampaignEngine::run() {
+    const std::vector<BackendSpec> duts = resolve_duts(config_);
 
     if (config_.mutate) config_.coverage = true;    // mutants need the scheduler
     if (config_.concolic) config_.coverage = true;  // synthesis needs the map
 
     const SpecGenerator gen(config_.programs);
+
+    ExecOptions exec;
+    exec.batch_size = config_.batch_size;
+    exec.minimize = config_.minimize;
+    exec.localize = config_.localize;
+    exec.coverage = config_.coverage;
+    // throws std::invalid_argument on a malformed spec, before any work
+    exec.mgmt.plan = control::FaultPlan::parse(config_.mgmt_fault_plan);
+    exec.mgmt.enabled = exec.mgmt.plan.enabled();
 
     CampaignReport report;
     report.base_seed = config_.base_seed;
@@ -367,6 +110,7 @@ CampaignReport CampaignEngine::run() {
     for (const auto& d : duts) report.backends.push_back(d.label);
     report.coverage_enabled = config_.coverage;
     report.concolic_enabled = config_.concolic;
+    report.mgmt_enabled = exec.mgmt.enabled;
     if (config_.coverage) {
         report.coverage_map_slots = coverage::CoverageMap::kSlots;
         report.coverage_edges_dut.assign(duts.size(), 0);
@@ -377,99 +121,7 @@ CampaignReport CampaignEngine::run() {
     const auto run_one = [&](WorkerContext& ctx, const Scenario& sc,
                              ScenarioOutcome& outcome,
                              const std::string& recipe) {
-        // Build the stream once; every backend sees byte-identical stimuli
-        // on an identical timeline.
-        TestPacketGenerator pgen(sc.spec);
-        std::vector<packet::Packet> packets;
-        packets.reserve(sc.spec.count);
-        for (std::uint64_t seq = 1; seq <= sc.spec.count; ++seq) {
-            packets.push_back(pgen.make_packet(seq, kEpochNs + (seq - 1) * kSlotNs));
-        }
-
-        // Guided mode: the reference detection run streams its execution
-        // edges into a per-scenario map (set before run_scenario_on so the
-        // load() inside re-applies it).  Triage replays below run with
-        // coverage off again -- they revisit the same behaviour and would
-        // only re-count edges.
-        if (config_.coverage) {
-            outcome.coverage = std::make_unique<coverage::CoverageMap>();
-            ctx.reference->set_coverage(outcome.coverage.get());
-            outcome.dut_coverage.resize(duts.size());
-        }
-        const DeviceRun ref_run = run_scenario_on(*ctx.reference, sc, packets,
-                                                  config_.batch_size);
-        if (config_.coverage) ctx.reference->set_coverage(nullptr);
-        outcome.packets += ref_run.injected;
-
-        for (std::size_t d = 0; d < duts.size(); ++d) {
-            target::Device& dut = *ctx.duts[d];
-            // The DUT's detection run streams into its own per-scenario map
-            // (backend-salted inside the device); triage replays below run
-            // with coverage detached, like the reference's.
-            if (config_.coverage) {
-                outcome.dut_coverage[d] =
-                    std::make_unique<coverage::CoverageMap>();
-                dut.set_coverage(outcome.dut_coverage[d].get());
-            }
-            const DeviceRun dut_run =
-                run_scenario_on(dut, sc, packets, config_.batch_size);
-            if (config_.coverage) dut.set_coverage(nullptr);
-            outcome.packets += dut_run.injected;
-
-            const auto raw = diff_runs(dut_run, ref_run);
-            if (!raw) continue;
-
-            DivergenceRecord rec;
-            rec.seed = sc.seed;
-            rec.recipe = recipe;
-            rec.backend = duts[d].label;
-            rec.program = sc.program;
-            rec.quirk_signature = dut.config().quirks.signature();
-            rec.kind = raw->kind;
-            rec.detail = raw->detail;
-            rec.first_diverging_packet = raw->first_diverging_packet;
-
-            // Minimize: the shortest stimulus prefix that still diverges.
-            if (config_.minimize) {
-                for (std::size_t k = 1; k <= packets.size(); ++k) {
-                    const std::vector<packet::Packet> prefix(packets.begin(),
-                                                             packets.begin() + k);
-                    const DeviceRun r = run_scenario_on(*ctx.reference, sc, prefix,
-                                                        config_.batch_size);
-                    const DeviceRun u =
-                        run_scenario_on(dut, sc, prefix, config_.batch_size);
-                    outcome.packets += r.injected + u.injected;
-                    if (diff_runs(u, r)) {
-                        rec.minimized_count = k;
-                        rec.minimized_reproduces = true;
-                        break;
-                    }
-                }
-            }
-
-            // Localize: replay the minimized trigger through the stage taps.
-            const std::uint64_t trigger =
-                rec.minimized_count ? rec.minimized_count : packets.size();
-            if (config_.localize && trigger > 0) {
-                const std::vector<packet::Packet> warmup(
-                    packets.begin(), packets.begin() + (trigger - 1));
-                const DeviceRun r = run_scenario_on(*ctx.reference, sc, warmup,
-                                                    config_.batch_size);
-                const DeviceRun u =
-                    run_scenario_on(dut, sc, warmup, config_.batch_size);
-                outcome.packets += r.injected + u.injected;
-                FaultLocalizer localizer(dut, *ctx.reference);
-                rec.localized = localizer.localize_binary(packets[trigger - 1]);
-                outcome.packets += rec.localized.packets_replayed;
-            }
-
-            const std::string stage =
-                rec.localized.diverged
-                    ? dataplane::stage_name(rec.localized.stage)
-                    : (rec.kind == "config" ? "control" : "unlocalized");
-            rec.fingerprint = rec.backend + "|" + rec.quirk_signature + "|" + stage;
-            outcome.findings.push_back(std::move(rec));
-        }
+        execute_scenario(ctx, sc, duts, exec, outcome, recipe);
     };
 
     // An exception anywhere in a worker (unknown backend, a device refusing
@@ -521,29 +173,11 @@ CampaignReport CampaignEngine::run() {
             if (first_error) std::rethrow_exception(first_error);
         };
 
-    // Merge in scenario order so the report never depends on scheduling;
-    // dedup keeps the first finding per fingerprint and counts the rest.
-    // Returns whether the outcome contributed a previously unseen
-    // fingerprint (the scheduler's freshness bonus).
-    std::map<std::string, std::size_t> seen;
-    std::uint64_t merge_ordinal = 0;
+    // Merge in scenario order so the report never depends on scheduling
+    // (see ReportBuilder::fold).
+    ReportBuilder builder(report);
     const auto fold_outcome = [&](ScenarioOutcome& outcome) {
-        ++merge_ordinal;
-        report.packets_injected += outcome.packets;
-        bool fresh = false;
-        for (auto& rec : outcome.findings) {
-            ++report.findings_total;
-            const auto it = seen.find(rec.fingerprint);
-            if (it == seen.end()) {
-                rec.discovered_at = merge_ordinal;
-                seen.emplace(rec.fingerprint, report.divergences.size());
-                report.divergences.push_back(std::move(rec));
-                fresh = true;
-            } else {
-                ++report.divergences[it->second].duplicates;
-            }
-        }
-        return fresh;
+        return builder.fold(outcome);
     };
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -848,14 +482,8 @@ CampaignReport CampaignEngine::run() {
                         // interpreter disagrees with is a verify-layer bug
                         // and must not pollute the corpus.
                         const Scenario sc = mutator.apply_concolic(recipe);
-                        TestPacketGenerator pgen(sc.spec);
-                        std::vector<packet::Packet> packets;
-                        packets.reserve(sc.spec.count);
-                        for (std::uint64_t seq = 1; seq <= sc.spec.count;
-                             ++seq) {
-                            packets.push_back(pgen.make_packet(
-                                seq, kEpochNs + (seq - 1) * kSlotNs));
-                        }
+                        const std::vector<packet::Packet> packets =
+                            scenario_packets(sc);
                         coverage::CoverageMap scratch;
                         oracle->set_coverage(&scratch);
                         run_scenario_on(*oracle, sc, packets,
@@ -950,6 +578,30 @@ std::string CampaignReport::to_string() const {
             s += util::format("  concolic+ %s\n", r.c_str());
         }
     }
+    if (mgmt_enabled) {
+        s += util::format(
+            "  mgmt wire: %llu request(s), %llu frame(s), %llu retrie(s), "
+            "%llu timeout(s), %llu fault(s) injected, %llu dedup hit(s)\n",
+            static_cast<unsigned long long>(mgmt.requests),
+            static_cast<unsigned long long>(mgmt.frames_sent),
+            static_cast<unsigned long long>(mgmt.retries),
+            static_cast<unsigned long long>(mgmt.timeouts),
+            static_cast<unsigned long long>(mgmt.faults_injected),
+            static_cast<unsigned long long>(mgmt.dedup_hits));
+    }
+    if (fabric_enabled) {
+        s += util::format(
+            "  fabric: %llu worker(s), %llu restart(s), %llu shard(s) "
+            "re-dispatched, %llu job(s) resent, %llu link frame(s) "
+            "(%llu corrupt, %llu fault(s) injected)\n",
+            static_cast<unsigned long long>(fabric.workers),
+            static_cast<unsigned long long>(fabric.worker_restarts),
+            static_cast<unsigned long long>(fabric.shards_redispatched),
+            static_cast<unsigned long long>(fabric.jobs_resent),
+            static_cast<unsigned long long>(fabric.link_frames),
+            static_cast<unsigned long long>(fabric.link_corrupt),
+            static_cast<unsigned long long>(fabric.link_faults));
+    }
     for (const auto& d : divergences) {
         s += util::format(
             "  [%s] seed=%llu %s: %s (min=%llu pkt, +%llu dup) %s\n",
@@ -1042,6 +694,38 @@ std::string CampaignReport::to_json() const {
                     : 0.0);
         }
         s += "]},\n";
+    }
+    if (mgmt_enabled || fabric_enabled) {
+        // Byte-identity consumers: "mgmt" is deterministic like the rest of
+        // the report; "fabric" is timing-dependent (which worker dies with
+        // which shard in flight) and must be excluded from comparisons.
+        s += "  \"robustness\": {";
+        s += util::format(
+            "\"mgmt\": {\"requests\": %llu, \"frames_sent\": %llu, "
+            "\"retries\": %llu, \"timeouts\": %llu, \"decode_errors\": %llu, "
+            "\"faults_injected\": %llu, \"dedup_hits\": %llu}",
+            static_cast<unsigned long long>(mgmt.requests),
+            static_cast<unsigned long long>(mgmt.frames_sent),
+            static_cast<unsigned long long>(mgmt.retries),
+            static_cast<unsigned long long>(mgmt.timeouts),
+            static_cast<unsigned long long>(mgmt.decode_errors),
+            static_cast<unsigned long long>(mgmt.faults_injected),
+            static_cast<unsigned long long>(mgmt.dedup_hits));
+        if (fabric_enabled) {
+            s += util::format(
+                ", \"fabric\": {\"workers\": %llu, \"worker_restarts\": %llu, "
+                "\"shards_redispatched\": %llu, \"jobs_resent\": %llu, "
+                "\"link_frames\": %llu, \"link_corrupt\": %llu, "
+                "\"link_faults\": %llu}",
+                static_cast<unsigned long long>(fabric.workers),
+                static_cast<unsigned long long>(fabric.worker_restarts),
+                static_cast<unsigned long long>(fabric.shards_redispatched),
+                static_cast<unsigned long long>(fabric.jobs_resent),
+                static_cast<unsigned long long>(fabric.link_frames),
+                static_cast<unsigned long long>(fabric.link_corrupt),
+                static_cast<unsigned long long>(fabric.link_faults));
+        }
+        s += "},\n";
     }
     s += "  \"divergences\": [";
     for (std::size_t i = 0; i < divergences.size(); ++i) {

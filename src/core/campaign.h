@@ -120,14 +120,29 @@ struct CampaignConfig {
     // and single-recipe-replay modes; the uniform sweep has no map).  Not
     // owned; must outlive run().
     coverage::CoverageMap* coverage_map_out = nullptr;
+
+    // Management-plane fault injection (control::FaultPlan spec string;
+    // empty or "none" = clean).  When set, every DUT's configuration is
+    // delivered through a fault-injected wire channel while the reference's
+    // stays clean -- a config op that exhausts its retry budget surfaces as
+    // a "mgmt" divergence, a new class the data path cannot produce.  The
+    // per-run schedule is a pure function of (plan seed, program, scenario
+    // seed, DUT index), so reports keep the determinism contract.
+    std::string mgmt_fault_plan;
 };
+
+// The per-DUT backend list with defaults applied: empty `duts` expands to
+// every registered backend except the reference, and empty labels default
+// to the backend name.  Shared by CampaignEngine and FabricEngine so both
+// sweep the identical backend set in the identical order.
+std::vector<BackendSpec> resolve_duts(const CampaignConfig& config);
 
 struct DivergenceRecord {
     std::uint64_t seed = 0;
     std::string backend;   // BackendSpec label
     std::string program;
     std::string quirk_signature;
-    std::string kind;      // "output" | "snapshot" | "config"
+    std::string kind;      // "output" | "snapshot" | "config" | "internal" | "mgmt"
     std::string detail;    // first observed difference, human-readable
 
     // Triage results.
@@ -154,6 +169,44 @@ struct DivergenceRecord {
 struct CoveragePoint {
     std::uint64_t scenarios = 0;  // scenarios completed so far
     std::uint64_t edges = 0;      // distinct coverage-map slots lit so far
+};
+
+// Aggregated wire-channel traffic counters (management plane), summed over
+// every scenario in deterministic merge order.  Deterministic: the loopback
+// transport runs on virtual ticks.
+struct ChannelAccounting {
+    std::uint64_t requests = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t dedup_hits = 0;
+
+    void add(const ChannelAccounting& o) {
+        requests += o.requests;
+        frames_sent += o.frames_sent;
+        retries += o.retries;
+        timeouts += o.timeouts;
+        decode_errors += o.decode_errors;
+        faults_injected += o.faults_injected;
+        dedup_hits += o.dedup_hits;
+    }
+};
+
+// Multi-process fabric accounting (FabricEngine only).  Unlike the rest of
+// the report these counters are timing-dependent -- which worker dies with
+// which shard in flight depends on the OS scheduler -- so byte-identity
+// comparisons must exclude them (see CampaignReport::to_json's
+// "robustness" block).
+struct FabricAccounting {
+    std::uint64_t workers = 0;
+    std::uint64_t worker_restarts = 0;      // killed/hung workers respawned
+    std::uint64_t shards_redispatched = 0;  // shards re-run after a death
+    std::uint64_t jobs_resent = 0;          // job frames retransmitted
+    std::uint64_t link_frames = 0;          // well-formed frames parent saw
+    std::uint64_t link_corrupt = 0;         // frames the parent reader rejected
+    std::uint64_t link_faults = 0;          // injector decisions on both ends
 };
 
 struct CampaignReport {
@@ -200,6 +253,15 @@ struct CampaignReport {
     // Encoded ConcolicRecipe text of every injected seed, injection order;
     // each is a replayable `concolic=` corpus line.
     std::vector<std::string> concolic_recipes;
+
+    // Robustness outputs.  mgmt sums the DUT management-channel traffic
+    // (deterministic); fabric is filled by FabricEngine only and is the one
+    // timing-dependent part of the report.  Neither block is rendered when
+    // its mode is off, so pre-existing report bytes are unchanged.
+    bool mgmt_enabled = false;
+    ChannelAccounting mgmt;
+    bool fabric_enabled = false;
+    FabricAccounting fabric;
 
     double dedup_ratio() const {
         return divergences.empty()

@@ -1,0 +1,152 @@
+// Crash-tolerant multi-process fabric: the report must come out
+// byte-identical to the single-process uniform sweep -- with clean links,
+// with a SIGKILLed worker plus lossy fault-injected links (graceful
+// degradation), and with management-plane fault injection layered on top.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/fabric.h"
+
+namespace {
+
+using namespace ndb;
+using namespace ndb::core;
+
+CampaignConfig base_config() {
+    CampaignConfig c;
+    c.base_seed = 1;
+    c.scenarios = 24;
+    c.threads = 1;
+    return c;
+}
+
+// The fabric accounting block is the report's one timing-dependent part
+// (which worker dies with which shard in flight is the OS scheduler's
+// call); byte-identity is asserted on everything else.
+std::string json_without_fabric(CampaignReport r) {
+    r.fabric_enabled = false;
+    r.fabric = FabricAccounting{};
+    return r.to_json();
+}
+
+TEST(Fabric, CleanRunByteIdenticalToSingleProcess) {
+    const CampaignConfig cfg = base_config();
+
+    CampaignEngine single(cfg);
+    const CampaignReport a = single.run();
+
+    FabricConfig f;
+    f.campaign = cfg;
+    f.workers = 3;
+    f.shard_size = 4;
+    FabricEngine fabric(f);
+    const CampaignReport b = fabric.run();
+
+    EXPECT_TRUE(b.fabric_enabled);
+    EXPECT_EQ(b.fabric.workers, 3u);
+    EXPECT_EQ(b.fabric.worker_restarts, 0u);
+    EXPECT_GT(b.fabric.link_frames, 0u);
+    EXPECT_EQ(a.to_json(), json_without_fabric(b));
+}
+
+TEST(Fabric, SurvivesWorkerKillAndLossyLinks) {
+    const CampaignConfig cfg = base_config();
+
+    CampaignEngine single(cfg);
+    const CampaignReport a = single.run();
+
+    // One worker is SIGKILLed mid-campaign AND every parent<->worker link
+    // drops/duplicates/reorders/corrupts/delays frames: the sweep must
+    // still complete with the identical report, the damage visible only in
+    // the accounting.
+    FabricConfig f;
+    f.campaign = cfg;
+    f.workers = 3;
+    f.shard_size = 2;
+    f.link_fault_plan =
+        "seed=5,drop=0.15,dup=0.1,reorder=0.1,corrupt=0.1,delay=0.2,"
+        "delay_ticks=2";
+    f.kill_worker_after_results = 2;
+    FabricEngine fabric(f);
+    const CampaignReport b = fabric.run();
+
+    EXPECT_GE(b.fabric.worker_restarts, 1u);
+    EXPECT_GT(b.fabric.link_faults, 0u);
+    EXPECT_EQ(a.to_json(), json_without_fabric(b));
+}
+
+TEST(Fabric, MgmtFaultInjectionStaysDeterministicAcrossProcessCounts) {
+    // A harsh management plan makes some DUT config ops exhaust their retry
+    // budget -- a "mgmt" divergence class the data path cannot produce.
+    // The schedule is a pure function of (plan seed, program, scenario
+    // seed, DUT index), so every execution topology must report the same
+    // findings and the same mgmt accounting.
+    CampaignConfig cfg = base_config();
+    cfg.scenarios = 16;
+    cfg.mgmt_fault_plan = "seed=11,drop=0.7";
+
+    CampaignEngine single(cfg);
+    const CampaignReport a = single.run();
+
+    CampaignConfig threaded = cfg;
+    threaded.threads = 2;
+    CampaignEngine multi(threaded);
+    const CampaignReport a2 = multi.run();
+    EXPECT_EQ(a.to_json(), a2.to_json());
+
+    FabricConfig f;
+    f.campaign = cfg;
+    f.workers = 2;
+    f.shard_size = 4;
+    FabricEngine fabric(f);
+    const CampaignReport b = fabric.run();
+
+    EXPECT_TRUE(a.mgmt_enabled);
+    EXPECT_GT(a.mgmt.retries, 0u);
+    EXPECT_GT(a.mgmt.timeouts, 0u);
+    EXPECT_GT(a.mgmt.faults_injected, 0u);
+    bool saw_mgmt_kind = false;
+    for (const auto& d : a.divergences) {
+        if (d.kind == "mgmt") saw_mgmt_kind = true;
+    }
+    EXPECT_TRUE(saw_mgmt_kind)
+        << "harsh mgmt plan produced no mgmt-kind divergence";
+    EXPECT_EQ(a.to_json(), json_without_fabric(b));
+}
+
+TEST(Fabric, RejectsModesThatNeedASharedFeedbackLoop) {
+    FabricConfig f;
+    f.campaign = base_config();
+    f.workers = 2;
+
+    {
+        FabricConfig g = f;
+        g.campaign.coverage = true;
+        EXPECT_THROW(FabricEngine(g).run(), std::invalid_argument);
+    }
+    {
+        FabricConfig g = f;
+        g.campaign.mutate = true;
+        EXPECT_THROW(FabricEngine(g).run(), std::invalid_argument);
+    }
+    {
+        FabricConfig g = f;
+        g.campaign.mutation_recipe = "#whatever";
+        EXPECT_THROW(FabricEngine(g).run(), std::invalid_argument);
+    }
+    {
+        FabricConfig g = f;
+        g.workers = 0;
+        EXPECT_THROW(FabricEngine(g).run(), std::invalid_argument);
+    }
+    {
+        FabricConfig g = f;
+        g.shard_size = 0;
+        EXPECT_THROW(FabricEngine(g).run(), std::invalid_argument);
+    }
+}
+
+}  // namespace

@@ -38,6 +38,18 @@
 // --replay RECIPE runs exactly one recorded scenario -- an encoded
 // MutationRecipe ('#' head) or ConcolicRecipe ('@' head) -- through the
 // ordinary detection/triage path.
+//
+// --mgmt-fault-plan SPEC delivers every DUT's configuration through a
+// fault-injected wire channel (the reference's stays clean); config ops
+// that exhaust their retry budget surface as "mgmt"-kind divergences.
+//
+// --workers N runs the uniform sweep on the crash-tolerant multi-process
+// fabric: forked workers speak the wire protocol over socketpairs, a
+// heartbeat watchdog respawns killed/hung workers and re-dispatches their
+// shards, and the report stays byte-identical to the single-process run
+// apart from its fabric accounting block.  --fault-plan SPEC faults the
+// parent<->worker links themselves; --kill-worker-after N SIGKILLs worker
+// 0 after N shard results (a recovery drill for CI).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/fabric.h"
 #include "core/soak.h"
 #include "util/strings.h"
 
@@ -65,7 +78,10 @@ int usage(const char* argv0) {
                  "          [--no-localize] [--no-minimize] [--out FILE]\n"
                  "          [--coverage] [--mutate] [--mutation-rate F]\n"
                  "          [--concolic] [--concolic-per-round N]\n"
-                 "          [--soak N] [--corpus-dir DIR] [--replay RECIPE]\n",
+                 "          [--soak N] [--corpus-dir DIR] [--replay RECIPE]\n"
+                 "          [--mgmt-fault-plan SPEC]\n"
+                 "          [--workers N] [--fault-plan SPEC] [--shard-size N]\n"
+                 "          [--kill-worker-after N]\n",
                  argv0);
     return 2;
 }
@@ -96,6 +112,8 @@ int main(int argc, char** argv) {
     std::string out_path = "BENCH_campaign.json";
     bool soak = false;
     std::string corpus_dir = "tests/corpus";
+    core::FabricConfig fabric;
+    int workers = 0;  // 0 = in-process engine; >0 = multi-process fabric
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -161,6 +179,18 @@ int main(int argc, char** argv) {
             config.scenarios = parse_count("--soak", value(), 1, 1u << 24);
         } else if (arg == "--corpus-dir") {
             corpus_dir = value();
+        } else if (arg == "--mgmt-fault-plan") {
+            // Validated by FaultPlan::parse before any work starts.
+            config.mgmt_fault_plan = value();
+        } else if (arg == "--workers") {
+            workers = static_cast<int>(parse_count("--workers", value(), 1, 64));
+        } else if (arg == "--fault-plan") {
+            fabric.link_fault_plan = value();
+        } else if (arg == "--shard-size") {
+            fabric.shard_size = parse_count("--shard-size", value(), 1, 4096);
+        } else if (arg == "--kill-worker-after") {
+            fabric.kill_worker_after_results = static_cast<int>(
+                parse_count("--kill-worker-after", value(), 0, 1u << 20));
         } else if (arg == "--no-localize") {
             config.localize = false;
         } else if (arg == "--no-minimize") {
@@ -185,20 +215,35 @@ int main(int argc, char** argv) {
         config.corpus_dir = corpus_dir;
     }
 
-    core::CampaignEngine engine(config);
     core::CampaignReport report;
+    core::CampaignStats stats;
     try {
-        report = engine.run();
+        if (workers > 0) {
+            fabric.campaign = config;
+            fabric.workers = workers;
+            core::FabricEngine engine(std::move(fabric));
+            report = engine.run();
+            stats = engine.stats();
+        } else {
+            core::CampaignEngine engine(config);
+            report = engine.run();
+            stats = engine.stats();
+        }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    const core::CampaignStats& stats = engine.stats();
 
     std::fputs(report.to_string().c_str(), stdout);
-    std::printf("throughput: %.0f scenarios/sec, %.0f packets/sec (%.3fs wall, %d thread(s))\n",
-                stats.scenarios_per_sec, stats.packets_per_sec, stats.wall_seconds,
-                config.threads);
+    if (workers > 0) {
+        std::printf("throughput: %.0f scenarios/sec, %.0f packets/sec (%.3fs wall, %d worker process(es))\n",
+                    stats.scenarios_per_sec, stats.packets_per_sec,
+                    stats.wall_seconds, workers);
+    } else {
+        std::printf("throughput: %.0f scenarios/sec, %.0f packets/sec (%.3fs wall, %d thread(s))\n",
+                    stats.scenarios_per_sec, stats.packets_per_sec,
+                    stats.wall_seconds, config.threads);
+    }
 
     if (soak) {
         const core::SoakResult grown =
