@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace ndb::control {
@@ -312,6 +314,16 @@ bool WireChannel::wait_for(std::uint64_t seq, std::uint32_t ticks,
 
 Response WireChannel::transact(const Request& request) {
     ++stats_.requests;
+    // Telemetry shadows ChannelStats (which feed the deterministic report);
+    // the RAII guard times the whole transact, retries and backoff included.
+    struct RttTimer {
+        bool on;
+        std::uint64_t t0;
+        ~RttTimer() {
+            if (on) obs::record(obs::Hist::wire_rtt_ns, obs::now_ns() - t0);
+        }
+    } rtt{obs::metrics_on(), obs::metrics_on() ? obs::now_ns() : 0};
+    if (rtt.on) obs::count(obs::Counter::wire_requests);
     const std::uint64_t seq = ++next_seq_;
     wire::Frame frame;
     frame.kind = wire::FrameKind::control_request;
@@ -322,7 +334,13 @@ Response WireChannel::transact(const Request& request) {
     const std::uint32_t attempts = std::max<std::uint32_t>(1, policy_.max_attempts);
     Response resp;
     for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
-        if (attempt > 0) ++stats_.retries;
+        if (attempt > 0) {
+            ++stats_.retries;
+            if (obs::metrics_on()) obs::count(obs::Counter::wire_retries);
+            if (obs::trace_on()) {
+                obs::trace_instant("wire_retry", "seq", seq, "attempt", attempt);
+            }
+        }
         transport_->send(bytes);
         ++stats_.frames_sent;
         if (wait_for(seq, policy_.timeout_ticks, resp)) return resp;
@@ -338,6 +356,10 @@ Response WireChannel::transact(const Request& request) {
         }
     }
     ++stats_.timeouts;
+    if (obs::metrics_on()) obs::count(obs::Counter::wire_timeouts);
+    if (obs::trace_on()) {
+        obs::trace_instant("wire_timeout", "seq", seq, "attempts", attempts);
+    }
     resp = Response{};
     resp.status = Status::failure(
         util::format("wire: request seq %llu timed out after %u attempt(s)",

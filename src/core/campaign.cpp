@@ -15,6 +15,8 @@
 #include "core/generator.h"
 #include "core/mutate.h"
 #include "core/scenario_exec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "coverage/coverage.h"
 #include "coverage/edge_index.h"
 #include "coverage/scheduler.h"
@@ -128,6 +130,9 @@ CampaignReport CampaignEngine::run() {
     // an image) must surface to the caller, not std::terminate the process:
     // capture the first one, stop the pool, rethrow after the join.
     const int threads = std::clamp(config_.threads, 1, 64);
+    if (obs::metrics_on()) {
+        obs::Metrics::instance().gauge_set(obs::Gauge::campaign_threads, threads);
+    }
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
     std::mutex error_mutex;
@@ -293,7 +298,10 @@ CampaignReport CampaignEngine::run() {
             std::max<std::uint64_t>(8, 2 * gen.programs().size());
         std::uint64_t done = 0;
         std::uint64_t seed_cursor = 0;
+        std::uint64_t round_index = 0;
         while (done < config_.scenarios) {
+            const std::uint64_t round_t0 =
+                obs::trace_on() ? obs::now_ns() : 0;
             const std::uint64_t round =
                 std::min(config_.scenarios - done, round_cap);
             std::vector<GuidedSlot> slots;
@@ -408,7 +416,13 @@ CampaignReport CampaignEngine::run() {
             for (const GuidedSlot& slot : slots) ++ran[slot.program];
             for (std::size_t p = 0; p < plan.size(); ++p) {
                 if (ran[p] == 0) continue;
-                scheduler.reward(p, gain[p] / static_cast<double>(ran[p]));
+                const double energy = gain[p] / static_cast<double>(ran[p]);
+                scheduler.reward(p, energy);
+                if (obs::trace_on()) {
+                    obs::trace_instant(
+                        "energy", "program", p, "gain_milli",
+                        static_cast<std::uint64_t>(1000.0 * energy));
+                }
             }
 
             // Concolic synthesis at the barrier: map still-dark reference
@@ -499,6 +513,13 @@ CampaignReport CampaignEngine::run() {
                             continue;  // slot-colliding duplicate
                         }
                         ++report.concolic_injected;
+                        if (obs::metrics_on()) {
+                            obs::count(obs::Counter::concolic_injected);
+                        }
+                        if (obs::trace_on()) {
+                            obs::trace_instant("concolic_inject", "program", p,
+                                               "slot", recipe.slot);
+                        }
                         report.concolic_recipes.push_back(text);
                         pending.push_back({p, std::move(recipe)});
                     }
@@ -507,6 +528,12 @@ CampaignReport CampaignEngine::run() {
             done += round;
             report.coverage_series.push_back(
                 {done, static_cast<std::uint64_t>(global.edges_covered())});
+            if (obs::metrics_on()) obs::count(obs::Counter::rounds);
+            if (obs::trace_on()) {
+                obs::trace_complete("round", round_t0, obs::now_ns() - round_t0,
+                                    "round", round_index, "slots", round);
+            }
+            ++round_index;
         }
         report.coverage_edges =
             static_cast<std::uint64_t>(global.edges_covered());

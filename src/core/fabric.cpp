@@ -19,6 +19,7 @@
 #include "control/transport.h"
 #include "control/wire.h"
 #include "core/scenario_exec.h"
+#include "obs/telemetry.h"
 #include "util/strings.h"
 
 namespace ndb::core {
@@ -133,6 +134,10 @@ bool read_outcome(wire::Reader& r, ScenarioOutcome& out) {
                               const control::FaultPlan& link_plan,
                               std::uint64_t link_salt) {
     try {
+        // Telemetry enable flags and the trace epoch were inherited across
+        // the fork; zero the inherited samples so this worker's deltas
+        // cover only what it records itself.
+        if (obs::Telemetry::any_enabled()) obs::Telemetry::reset();
         control::FdTransport transport(fd);
         control::FaultInjector out(link_plan, link_salt);
         wire::FrameReader reader;
@@ -163,11 +168,40 @@ bool read_outcome(wire::Reader& r, ScenarioOutcome& out) {
             wire::Frame frame;
             while (reader.next(frame)) {
                 switch (frame.kind) {
-                    case wire::FrameKind::heartbeat:
-                        send_frame({wire::FrameKind::heartbeat_ack, frame.seq,
-                                    {}});
+                    case wire::FrameKind::heartbeat: {
+                        // The ack doubles as the telemetry ship: its payload
+                        // is the delta since the last ack (empty payload =
+                        // nothing new).  It rides the injected link, so a
+                        // dropped ack loses that delta -- acceptable for
+                        // observe-only cargo.
+                        wire::Frame ack;
+                        ack.kind = wire::FrameKind::heartbeat_ack;
+                        ack.seq = frame.seq;
+                        if (obs::Telemetry::any_enabled()) {
+                            const obs::TelemetryDelta delta =
+                                obs::Telemetry::take_delta();
+                            if (!delta.empty()) {
+                                ack.payload = obs::Telemetry::encode_delta(delta);
+                            }
+                        }
+                        send_frame(ack);
                         break;
+                    }
                     case wire::FrameKind::shutdown:
+                        // Last telemetry delta goes out on the raw transport:
+                        // like the shutdown frame itself, teardown
+                        // housekeeping bypasses fault injection.
+                        if (obs::Telemetry::any_enabled()) {
+                            const obs::TelemetryDelta delta =
+                                obs::Telemetry::take_delta();
+                            if (!delta.empty()) {
+                                wire::Frame fin;
+                                fin.kind = wire::FrameKind::heartbeat_ack;
+                                fin.seq = frame.seq;
+                                fin.payload = obs::Telemetry::encode_delta(delta);
+                                transport.send(wire::encode_frame(fin));
+                            }
+                        }
                         std::_Exit(0);
                     case wire::FrameKind::job: {
                         wire::Reader r(frame.payload);
@@ -282,6 +316,10 @@ CampaignReport FabricEngine::run() {
     report.mgmt_enabled = exec.mgmt.enabled;
     report.fabric_enabled = true;
     report.fabric.workers = static_cast<std::uint64_t>(config_.workers);
+    if (obs::metrics_on()) {
+        obs::Metrics::instance().gauge_set(obs::Gauge::fabric_workers,
+                                           config_.workers);
+    }
 
     // The shard plan: fixed up front, so a shard id names the same scenario
     // range no matter which worker (or respawn generation) runs it.
@@ -348,6 +386,12 @@ CampaignReport FabricEngine::run() {
             worker_main(sv[1], config_, duts, exec, link_plan, salt);
         }
         ::close(sv[1]);
+        if (obs::metrics_on()) obs::count(obs::Counter::worker_spawns);
+        if (obs::trace_on()) {
+            obs::trace_instant(s.restarts > 0 ? "worker_respawn" : "worker_spawn",
+                               "slot", slot_index,
+                               "pid", static_cast<std::uint64_t>(pid));
+        }
         s.pid = pid;
         s.transport = std::make_unique<control::FdTransport>(sv[0]);
         s.reader = wire::FrameReader();
@@ -363,6 +407,16 @@ CampaignReport FabricEngine::run() {
 
     const auto send_frame = [&](WorkerSlot& s, const wire::Frame& f) {
         s.out.send(wire::encode_frame(f));
+    };
+    // Heartbeat acks carry the worker's telemetry delta as payload; fold it
+    // into the parent's imported accumulators (a bad payload is dropped
+    // whole -- telemetry never poisons the run).
+    const auto import_telemetry = [](const wire::Frame& frame) {
+        if (frame.payload.empty() || !obs::Telemetry::any_enabled()) return;
+        obs::TelemetryDelta delta;
+        if (obs::Telemetry::decode_delta(frame.payload, delta)) {
+            obs::Telemetry::import_delta(std::move(delta));
+        }
     };
     const auto send_job = [&](WorkerSlot& s) {
         wire::Frame job;
@@ -445,6 +499,7 @@ CampaignReport FabricEngine::run() {
                 s.last_frame = now;
                 if (frame.kind == wire::FrameKind::heartbeat_ack) {
                     s.last_ack = now;
+                    import_telemetry(frame);
                 } else if (frame.kind == wire::FrameKind::job_result) {
                     handle_result(s, frame);
                 }
@@ -481,6 +536,11 @@ CampaignReport FabricEngine::run() {
             }
             retire_link(s);
             ++report.fabric.worker_restarts;
+            if (obs::metrics_on()) obs::count(obs::Counter::worker_restarts);
+            if (obs::trace_on()) {
+                obs::trace_instant("worker_kill", "slot", i, "restarts",
+                                   static_cast<std::uint64_t>(s.restarts));
+            }
             if (s.inflight) {
                 pending.push_front(*s.inflight);
                 s.inflight.reset();
@@ -505,10 +565,26 @@ CampaignReport FabricEngine::run() {
         bye.kind = wire::FrameKind::shutdown;
         s.transport->send(wire::encode_frame(bye));
     }
+    // Each worker's final telemetry delta lands on its link right before
+    // exit; pump the transport while waiting to reap (no-op when telemetry
+    // is off, so the untelemetered teardown is unchanged).
+    const auto drain_telemetry = [&](WorkerSlot& s) {
+        if (!s.transport || !obs::Telemetry::any_enabled()) return;
+        s.transport->tick();
+        std::vector<std::uint8_t> rx;
+        if (s.transport->receive(rx)) s.reader.feed(rx);
+        wire::Frame frame;
+        while (s.reader.next(frame)) {
+            if (frame.kind == wire::FrameKind::heartbeat_ack) {
+                import_telemetry(frame);
+            }
+        }
+    };
     for (auto& s : slots) {
         if (s.pid > 0) {
             bool reaped = false;
             for (int i = 0; i < 250 && !reaped; ++i) {
+                drain_telemetry(s);
                 if (::waitpid(s.pid, nullptr, WNOHANG) == s.pid) {
                     reaped = true;
                 } else {
@@ -521,6 +597,7 @@ CampaignReport FabricEngine::run() {
             }
             s.pid = -1;
         }
+        drain_telemetry(s);
         retire_link(s);
         s.transport.reset();
     }

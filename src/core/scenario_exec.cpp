@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace ndb::core {
@@ -296,6 +298,8 @@ void execute_scenario(WorkerContext& ctx, const Scenario& sc,
                       const std::vector<BackendSpec>& duts,
                       const ExecOptions& options, ScenarioOutcome& outcome,
                       const std::string& recipe) {
+    const std::uint64_t obs_t0 =
+        (obs::metrics_on() || obs::trace_on()) ? obs::now_ns() : 0;
     const std::vector<packet::Packet> packets = scenario_packets(sc);
 
     // Guided mode: the reference detection run streams its execution
@@ -393,6 +397,18 @@ void execute_scenario(WorkerContext& ctx, const Scenario& sc,
         rec.fingerprint = rec.backend + "|" + rec.quirk_signature + "|" + stage;
         outcome.findings.push_back(std::move(rec));
     }
+
+    // Telemetry: scenario counters are exact (divergences counted here, once
+    // per raw finding; fold() only traces the post-dedup fresh ones).
+    if (obs::metrics_on()) {
+        obs::count(obs::Counter::scenarios);
+        obs::count(obs::Counter::divergences, outcome.findings.size());
+        obs::record(obs::Hist::scenario_ns, obs::now_ns() - obs_t0);
+    }
+    if (obs::trace_on()) {
+        obs::trace_complete("scenario", obs_t0, obs::now_ns() - obs_t0, "seed",
+                            sc.seed, "findings", outcome.findings.size());
+    }
 }
 
 bool ReportBuilder::fold(ScenarioOutcome& outcome) {
@@ -407,6 +423,10 @@ bool ReportBuilder::fold(ScenarioOutcome& outcome) {
         const auto it = seen_.find(rec.fingerprint);
         if (it == seen_.end()) {
             rec.discovered_at = merge_ordinal_;
+            if (obs::trace_on()) {
+                obs::trace_instant("divergence", "seed", rec.seed, "ordinal",
+                                   merge_ordinal_);
+            }
             seen_.emplace(rec.fingerprint, report_->divergences.size());
             report_->divergences.push_back(std::move(rec));
             fresh = true;

@@ -3,6 +3,7 @@
 #include "coverage/coverage.h"
 #include "dataplane/compile.h"
 #include "dataplane/deparser.h"
+#include "obs/metrics.h"
 
 namespace ndb::dataplane {
 
@@ -63,6 +64,31 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
     PipelineResult result;
     ++counters_.parser_in;
 
+    // Telemetry (observe-only): the packet counter is exact; the per-stage
+    // clocks run on a 1/16 per-thread sample so the extra clock_gettime
+    // calls stay inside the bench overhead gate.  Whole-packet latency is
+    // recorded by the guard below on every exit path, early returns
+    // included.
+    const bool obs_engine = options_.engine == Engine::compiled;
+    bool timed = false;
+    std::uint64_t t_mark = 0;
+    if (obs::metrics_on()) {
+        obs::count(obs::Counter::packets);
+        timed = obs::sample_packet();
+        if (timed) {
+            obs::count(obs::Counter::packets_sampled);
+            t_mark = obs::now_ns();
+        }
+    }
+    struct PacketTimer {
+        bool on;
+        std::uint64_t t0;
+        obs::Hist hist;
+        ~PacketTimer() {
+            if (on) obs::record(hist, obs::now_ns() - t0);
+        }
+    } packet_timer{timed, t_mark, obs::pipeline_hist(3, obs_engine)};
+
     state_.ensure_shape(prog_);
     state_.reset(prog_, in.meta, static_cast<std::uint32_t>(in.size()),
                  options_.quirks.metadata_clobber);
@@ -72,6 +98,11 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
         options_.engine == Engine::compiled ? compiled_.get() : nullptr;
     const ParserVerdict verdict =
         compiled ? compiled->run_parser(in, state) : parser_.run(in, state);
+    if (timed) {
+        const std::uint64_t t = obs::now_ns();
+        obs::record(obs::pipeline_hist(0, obs_engine), t - t_mark);
+        t_mark = t;
+    }
     result.parser_verdict = verdict;
     switch (verdict) {
         case ParserVerdict::accept:
@@ -172,7 +203,18 @@ PipelineResult Pipeline::process(const packet::Packet& in) {
         }
     }
 
+    // Match-action covers everything between the parser mark and here
+    // (ingress + traffic manager + egress); drop paths fold their partial
+    // match-action time into the whole-packet histogram only.
+    if (timed) {
+        const std::uint64_t t = obs::now_ns();
+        obs::record(obs::pipeline_hist(1, obs_engine), t - t_mark);
+        t_mark = t;
+    }
     result.output = compiled ? compiled->deparse(state) : deparse(prog_, state);
+    if (timed) {
+        obs::record(obs::pipeline_hist(2, obs_engine), obs::now_ns() - t_mark);
+    }
     result.output.meta.egress_port = static_cast<std::uint32_t>(port);
     result.egress_port = static_cast<std::uint32_t>(port);
     result.disposition = Disposition::forwarded;

@@ -792,10 +792,13 @@ TableSet::TableSet(const p4::ir::Program& prog, int size_clamp,
         slot.capacity = cap;
         if (t.has_lpm()) {
             slot.engine = make_lpm_engine(t.keys[0].width, cap);
+            slot.kind = p4::ir::MatchKind::lpm;
         } else if (t.has_ternary()) {
             slot.engine = make_ternary_engine(t.total_key_width(), cap, inverted_priority);
+            slot.kind = p4::ir::MatchKind::ternary;
         } else {
             slot.engine = make_exact_engine(t.total_key_width(), cap);
+            slot.kind = p4::ir::MatchKind::exact;
         }
         slot.default_action = {t.default_action, t.default_args};
         slots_.push_back(std::move(slot));
@@ -817,6 +820,38 @@ void TableSet::set_default_action(int table_id, ActionEntry entry) {
 const ActionEntry& TableSet::lookup(int table_id, std::span<const Bitvec> keys,
                                     bool& hit) {
     return lookup_slot(slots_.at(static_cast<std::size_t>(table_id)), keys, hit);
+}
+
+const ActionEntry& TableSet::lookup_slot_timed(Slot& slot,
+                                               std::span<const Bitvec> keys,
+                                               bool& hit) {
+    obs::Counter counter = obs::Counter::lookups_exact;
+    obs::Hist hist = obs::Hist::lookup_ns_exact;
+    switch (slot.kind) {
+        case p4::ir::MatchKind::lpm:
+            counter = obs::Counter::lookups_lpm;
+            hist = obs::Hist::lookup_ns_lpm;
+            break;
+        case p4::ir::MatchKind::ternary:
+            counter = obs::Counter::lookups_ternary;
+            hist = obs::Hist::lookup_ns_ternary;
+            break;
+        case p4::ir::MatchKind::exact:
+            break;
+    }
+    obs::count(counter);
+    const bool timed = obs::sample_lookup();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+    const ActionEntry* found = slot.engine->lookup(keys);
+    if (timed) obs::record(hist, obs::now_ns() - t0);
+    if (found) {
+        hit = true;
+        ++slot.stats.hits;
+        return *found;
+    }
+    hit = false;
+    ++slot.stats.misses;
+    return slot.default_action;
 }
 
 const TableSet::Stats& TableSet::stats(int table_id) const {

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "p4/ir.h"
 #include "util/bitvec.h"
 
@@ -101,6 +102,9 @@ public:
         ActionEntry default_action;
         Stats stats;
         std::size_t capacity = 0;
+        // Which engine family backs this slot (telemetry's per-kind
+        // lookup counters/histograms key off it).
+        p4::ir::MatchKind kind = p4::ir::MatchKind::exact;
     };
 
     InsertStatus insert(int table_id, const TableEntry& entry);
@@ -123,6 +127,9 @@ public:
     // statistics, default-action fallback) with the id lookup hoisted out.
     static const ActionEntry& lookup_slot(Slot& slot, std::span<const Bitvec> keys,
                                           bool& hit) {
+        if (obs::metrics_on()) [[unlikely]] {
+            return lookup_slot_timed(slot, keys, hit);
+        }
         if (const ActionEntry* found = slot.engine->lookup(keys)) {
             hit = true;
             ++slot.stats.hits;
@@ -132,6 +139,13 @@ public:
         ++slot.stats.misses;
         return slot.default_action;
     }
+
+    // lookup_slot() with telemetry: per-kind lookup counters (exact) plus a
+    // 1/64-sampled latency histogram.  Out of line so the instrumented path
+    // costs the fast path nothing but the one enabled check.
+    static const ActionEntry& lookup_slot_timed(Slot& slot,
+                                                std::span<const Bitvec> keys,
+                                                bool& hit);
 
     const Stats& stats(int table_id) const;
     std::size_t entry_count(int table_id) const;

@@ -23,11 +23,21 @@ Logger& Logger::instance() {
 
 Logger::Logger() = default;
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+    std::shared_ptr<const Sink> next;
+    if (sink) next = std::make_shared<const Sink>(std::move(sink));
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
+    sink_ = std::move(next);
+}
 
 void Logger::write(LogLevel level, std::string_view tag, std::string_view msg) {
-    if (sink_) {
-        sink_(level, tag, msg);
+    std::shared_ptr<const Sink> sink;
+    {
+        const std::lock_guard<std::mutex> lock(sink_mutex_);
+        sink = sink_;
+    }
+    if (sink) {
+        (*sink)(level, tag, msg);
         return;
     }
     std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),

@@ -5,7 +5,10 @@
 // traces can be filtered in test output.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,27 +19,33 @@ enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off =
 
 const char* log_level_name(LogLevel level);
 
-// Process-wide log configuration.  Not thread-safe by design: the simulator
-// is single-threaded and tests set it once up front.
+// Process-wide log configuration.  Thread-safe: campaign workers log from
+// pool threads while tests reconfigure level and sink from the main thread.
+// The level is an atomic (so the enabled() fast path stays lock-free) and
+// the sink is swapped behind a shared_ptr -- a writer mid-call keeps the
+// sink it started with even if another thread replaces it.
 class Logger {
 public:
     using Sink = std::function<void(LogLevel, std::string_view tag, std::string_view msg)>;
 
     static Logger& instance();
 
-    void set_level(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
+    void set_level(LogLevel level) {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
     // Replaces the sink; pass nullptr to restore stderr output.
     void set_sink(Sink sink);
 
-    bool enabled(LogLevel level) const { return level >= level_; }
+    bool enabled(LogLevel level) const { return level >= this->level(); }
     void write(LogLevel level, std::string_view tag, std::string_view msg);
 
 private:
     Logger();
-    LogLevel level_ = LogLevel::warn;
-    Sink sink_;
+    std::atomic<LogLevel> level_{LogLevel::warn};
+    mutable std::mutex sink_mutex_;
+    std::shared_ptr<const Sink> sink_;
 };
 
 // Builds one log line; emits on destruction.

@@ -4,11 +4,15 @@
 // degradation), and with management-plane fault injection layered on top.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <set>
 #include <stdexcept>
 #include <string>
 
 #include "core/campaign.h"
 #include "core/fabric.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -115,6 +119,61 @@ TEST(Fabric, MgmtFaultInjectionStaysDeterministicAcrossProcessCounts) {
     EXPECT_TRUE(saw_mgmt_kind)
         << "harsh mgmt plan produced no mgmt-kind divergence";
     EXPECT_EQ(a.to_json(), json_without_fabric(b));
+}
+
+TEST(Fabric, TelemetryDeltasMergeAcrossWorkersWithoutTouchingTheReport) {
+    const CampaignConfig cfg = base_config();
+
+    // Baseline: telemetry off, single process.
+    obs::Telemetry::set_enabled(false, false);
+    CampaignEngine single(cfg);
+    const CampaignReport a = single.run();
+
+    // Telemetry on across a 3-worker fabric: the report must still match,
+    // and the parent must end up holding every worker's metrics and events.
+    obs::Telemetry::set_enabled(true, true);
+    obs::Telemetry::reset();
+    FabricConfig f;
+    f.campaign = cfg;
+    f.workers = 3;
+    f.shard_size = 4;
+    FabricEngine fabric(f);
+    const CampaignReport b = fabric.run();
+    EXPECT_EQ(a.to_json(), json_without_fabric(b));
+
+    const obs::MetricsSnapshot merged = obs::Telemetry::merged_metrics();
+    // Scenarios execute in the workers; their counts only reach the parent
+    // via heartbeat-ack deltas.  GE, not EQ: a slow machine can trip the
+    // job-resend timer and re-execute a shard (dedup keeps the report
+    // identical, but the exact-counters see both executions).
+    EXPECT_GE(
+        merged.counters[static_cast<std::size_t>(obs::Counter::scenarios)],
+        cfg.scenarios);
+    EXPECT_GE(
+        merged.counters[static_cast<std::size_t>(obs::Counter::worker_spawns)],
+        3u);
+    EXPECT_EQ(merged.gauges[static_cast<std::size_t>(obs::Gauge::fabric_workers)],
+              3);
+
+    // The merged timeline spans the parent plus all three worker pids.
+    std::set<std::uint64_t> pids;
+    bool parent_event = false;
+    for (const auto& ev : obs::Telemetry::collect_trace_events()) {
+        pids.insert(ev.pid);
+        if (ev.pid == static_cast<std::uint64_t>(::getpid())) {
+            parent_event = true;
+        }
+    }
+    EXPECT_TRUE(parent_event);
+    EXPECT_GE(pids.size(), 4u) << "expected parent + 3 distinct worker pids";
+
+    const std::string doc = obs::Telemetry::trace_json();
+    EXPECT_EQ(doc.rfind("{\"traceEvents\"", 0), 0u);
+    EXPECT_NE(doc.find("ndb worker"), std::string::npos);
+    EXPECT_NE(doc.find("ndb parent"), std::string::npos);
+
+    obs::Telemetry::set_enabled(false, false);
+    obs::Telemetry::reset();
 }
 
 TEST(Fabric, RejectsModesThatNeedASharedFeedbackLoop) {

@@ -25,6 +25,10 @@
 // machine variance.
 // --coverage-gate PCT additionally fails the run when the enabled-coverage
 // pass costs more than PCT percent of aggregate pipeline throughput.
+// --metrics-gate PCT does the same for the telemetry layer: a fourth
+// interleaved pass runs with metrics + tracing enabled, reports each
+// program's sampled packet-latency percentiles (p50/p90/p99 ns), and fails
+// the run when telemetry costs more than PCT percent of throughput.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,7 @@
 #include "coverage/coverage.h"
 #include "dataplane/engine.h"
 #include "dataplane/tables.h"
+#include "obs/telemetry.h"
 #include "target/device.h"
 #include "util/strings.h"
 
@@ -67,6 +72,10 @@ struct ProgramRow {
     ProgramBench compiled;
     ProgramBench interp;
     double speedup = 0;
+    // Sampled whole-packet latency percentiles from the telemetry pass.
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
 };
 
 // Replays one catalogue scenario's packet stream through a reference device
@@ -232,7 +241,8 @@ std::vector<EngineBench> bench_tables(std::uint64_t target_lookups) {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--packets N] [--lookups N] [--seeds N] [--threads T]\n"
-                 "          [--out FILE] [--baseline FILE] [--coverage-gate PCT]\n",
+                 "          [--out FILE] [--baseline FILE] [--coverage-gate PCT]\n"
+                 "          [--metrics-gate PCT]\n",
                  argv0);
     return 2;
 }
@@ -274,6 +284,7 @@ int main(int argc, char** argv) {
     std::string out_path = "BENCH_pipeline.json";
     std::string baseline_path;
     double coverage_gate_pct = -1.0;  // <0 = report only, no gate
+    double metrics_gate_pct = -1.0;   // <0 = report only, no gate
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -307,6 +318,16 @@ int main(int argc, char** argv) {
                              text);
                 return 2;
             }
+        } else if (arg == "--metrics-gate") {
+            const char* text = value();
+            if (!ndb::util::parse_double(text, metrics_gate_pct) ||
+                metrics_gate_pct < 0.0 || metrics_gate_pct > 100.0) {
+                std::fprintf(stderr,
+                             "--metrics-gate wants a percentage in [0,100], "
+                             "got '%s'\n",
+                             text);
+                return 2;
+            }
         } else {
             return usage(argv[0]);
         }
@@ -326,9 +347,12 @@ int main(int argc, char** argv) {
     double interp_seconds = 0;
     std::uint64_t cov_packets = 0;
     double cov_seconds = 0;
+    std::uint64_t tel_packets = 0;
+    double tel_seconds = 0;
     for (const auto& name : ndb::core::SpecGenerator::default_programs()) {
-        // Interleave the three passes per program (compiled, interpreter,
-        // compiled+coverage) so runner noise lands on all sums at once.
+        // Interleave the four passes per program (compiled, interpreter,
+        // compiled+coverage, compiled+telemetry) so runner noise lands on
+        // all sums at once.
         ProgramRow row;
         row.compiled =
             bench_program(name, packets, ndb::dataplane::Engine::compiled);
@@ -345,12 +369,35 @@ int main(int argc, char** argv) {
         total_seconds += row.compiled.seconds;
         interp_packets += row.interp.packets;
         interp_seconds += row.interp.seconds;
-        programs.push_back(std::move(row));
 
         const ProgramBench cov = bench_program(
             name, packets, ndb::dataplane::Engine::compiled, &coverage_map);
         cov_packets += cov.packets;
         cov_seconds += cov.seconds;
+
+        // Telemetry pass: the full layer (metrics + tracing) enabled only
+        // for the duration, reset per program so the latency histogram
+        // covers exactly this program's packets.
+        ndb::obs::Telemetry::set_enabled(true, true);
+        ndb::obs::Telemetry::reset();
+        const ProgramBench tel =
+            bench_program(name, packets, ndb::dataplane::Engine::compiled);
+        const ndb::obs::MetricsSnapshot snap =
+            ndb::obs::Metrics::instance().snapshot();
+        ndb::obs::Telemetry::set_enabled(false, false);
+        tel_packets += tel.packets;
+        tel_seconds += tel.seconds;
+        const ndb::obs::HistogramData& lat = snap.hists[static_cast<std::size_t>(
+            ndb::obs::Hist::packet_ns_compiled)];
+        row.p50_ns = lat.percentile(50.0);
+        row.p90_ns = lat.percentile(90.0);
+        row.p99_ns = lat.percentile(99.0);
+        std::printf("latency   %-16s p50 %6llu ns, p90 %6llu ns, p99 %6llu ns "
+                    "(sampled)\n",
+                    name.c_str(), static_cast<unsigned long long>(row.p50_ns),
+                    static_cast<unsigned long long>(row.p90_ns),
+                    static_cast<unsigned long long>(row.p99_ns));
+        programs.push_back(std::move(row));
     }
     const double pipeline_pps =
         total_seconds > 0 ? static_cast<double>(total_packets) / total_seconds : 0;
@@ -371,6 +418,14 @@ int main(int argc, char** argv) {
                 "%zu edges)\n",
                 "(coverage)", coverage_pps, coverage_overhead_pct,
                 coverage_map.edges_covered());
+
+    const double telemetry_pps =
+        tel_seconds > 0 ? static_cast<double>(tel_packets) / tel_seconds : 0;
+    const double telemetry_overhead_pct =
+        pipeline_pps > 0 ? 100.0 * (1.0 - telemetry_pps / pipeline_pps) : 0;
+    std::printf("pipeline  %-16s %9.0f pkts/sec (telemetry on: %.1f%% "
+                "overhead)\n",
+                "(telemetry)", telemetry_pps, telemetry_overhead_pct);
 
     // --- tables --------------------------------------------------------------
     const std::vector<EngineBench> engines = bench_tables(lookups);
@@ -398,17 +453,25 @@ int main(int argc, char** argv) {
     json += format("  \"pipeline_coverage_pps\": %.1f,\n", coverage_pps);
     json += format("  \"coverage_overhead_pct\": %.2f,\n", coverage_overhead_pct);
     json += format("  \"coverage_edges\": %zu,\n", coverage_map.edges_covered());
+    json += format("  \"pipeline_telemetry_pps\": %.1f,\n", telemetry_pps);
+    json += format("  \"telemetry_overhead_pct\": %.2f,\n",
+                   telemetry_overhead_pct);
     json += "  \"programs\": [";
     for (std::size_t i = 0; i < programs.size(); ++i) {
         const auto& row = programs[i];
         json += i ? ",\n    " : "\n    ";
         json += format("{\"name\": \"%s\", \"packets\": %llu, "
                        "\"seconds\": %.6f, \"pps\": %.1f, "
-                       "\"pps_interp\": %.1f, \"compiled_speedup\": %.2f}",
+                       "\"pps_interp\": %.1f, \"compiled_speedup\": %.2f, "
+                       "\"latency_p50_ns\": %llu, \"latency_p90_ns\": %llu, "
+                       "\"latency_p99_ns\": %llu}",
                        row.compiled.name.c_str(),
                        static_cast<unsigned long long>(row.compiled.packets),
                        row.compiled.seconds, row.compiled.pps, row.interp.pps,
-                       row.speedup);
+                       row.speedup,
+                       static_cast<unsigned long long>(row.p50_ns),
+                       static_cast<unsigned long long>(row.p90_ns),
+                       static_cast<unsigned long long>(row.p99_ns));
     }
     json += "\n  ],\n";
     json += "  \"tables\": [";
@@ -497,6 +560,19 @@ int main(int argc, char** argv) {
                          "FAIL: coverage instrumentation costs %.2f%% of "
                          "pipeline throughput (limit %.2f%%)\n",
                          coverage_overhead_pct, coverage_gate_pct);
+            return 1;
+        }
+    }
+
+    // --- telemetry-overhead gate ---------------------------------------------
+    if (metrics_gate_pct >= 0) {
+        std::printf("metrics gate: %.2f%% overhead vs limit %.2f%%\n",
+                    telemetry_overhead_pct, metrics_gate_pct);
+        if (telemetry_overhead_pct > metrics_gate_pct) {
+            std::fprintf(stderr,
+                         "FAIL: telemetry costs %.2f%% of pipeline throughput "
+                         "(limit %.2f%%)\n",
+                         telemetry_overhead_pct, metrics_gate_pct);
             return 1;
         }
     }

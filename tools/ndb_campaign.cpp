@@ -50,6 +50,14 @@
 // apart from its fabric accounting block.  --fault-plan SPEC faults the
 // parent<->worker links themselves; --kill-worker-after N SIGKILLs worker
 // 0 after N shard results (a recovery drill for CI).
+//
+// --metrics-out FILE / --trace-out FILE switch on the observe-only
+// telemetry layer: FILE gets the merged metrics snapshot JSON (counters,
+// gauges, latency histograms) or the merged Chrome trace_event timeline
+// (open in chrome://tracing or ui.perfetto.dev).  Under --workers the
+// workers ship their deltas home over heartbeat acks, so both files cover
+// every process.  Telemetry never changes the report or the exit code: an
+// unwritable path costs a stderr diagnostic, nothing more.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +68,7 @@
 #include "core/campaign.h"
 #include "core/fabric.h"
 #include "core/soak.h"
+#include "obs/telemetry.h"
 #include "util/strings.h"
 
 namespace {
@@ -81,7 +90,8 @@ int usage(const char* argv0) {
                  "          [--soak N] [--corpus-dir DIR] [--replay RECIPE]\n"
                  "          [--mgmt-fault-plan SPEC]\n"
                  "          [--workers N] [--fault-plan SPEC] [--shard-size N]\n"
-                 "          [--kill-worker-after N]\n",
+                 "          [--kill-worker-after N]\n"
+                 "          [--metrics-out FILE] [--trace-out FILE]\n",
                  argv0);
     return 2;
 }
@@ -114,6 +124,8 @@ int main(int argc, char** argv) {
     std::string corpus_dir = "tests/corpus";
     core::FabricConfig fabric;
     int workers = 0;  // 0 = in-process engine; >0 = multi-process fabric
+    std::string metrics_out;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -191,6 +203,20 @@ int main(int argc, char** argv) {
         } else if (arg == "--kill-worker-after") {
             fabric.kill_worker_after_results = static_cast<int>(
                 parse_count("--kill-worker-after", value(), 0, 1u << 20));
+        } else if (arg == "--metrics-out") {
+            // Strict like the numeric flags: an empty path is a typo, not a
+            // request for an unnamed file.
+            metrics_out = value();
+            if (metrics_out.empty()) {
+                std::fprintf(stderr, "--metrics-out wants a file path\n");
+                return 2;
+            }
+        } else if (arg == "--trace-out") {
+            trace_out = value();
+            if (trace_out.empty()) {
+                std::fprintf(stderr, "--trace-out wants a file path\n");
+                return 2;
+            }
         } else if (arg == "--no-localize") {
             config.localize = false;
         } else if (arg == "--no-minimize") {
@@ -214,6 +240,10 @@ int main(int argc, char** argv) {
         // same directory a soak appends to is the natural parent pool.
         config.corpus_dir = corpus_dir;
     }
+
+    // Enable before the run (and before any fabric fork, so workers inherit
+    // the flags and the shared trace epoch).
+    obs::Telemetry::set_enabled(!metrics_out.empty(), !trace_out.empty());
 
     core::CampaignReport report;
     core::CampaignStats stats;
@@ -285,6 +315,29 @@ int main(int argc, char** argv) {
     }
     out << json;
     std::printf("wrote %s\n", out_path.c_str());
+
+    // Telemetry exports come last and never change the exit code: losing an
+    // observability file is a diagnostic, not a failed campaign.
+    if (!metrics_out.empty()) {
+        std::string error;
+        if (obs::Telemetry::write_file(metrics_out, obs::Telemetry::metrics_json(),
+                                       error)) {
+            std::printf("wrote %s\n", metrics_out.c_str());
+        } else {
+            std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                         metrics_out.c_str(), error.c_str());
+        }
+    }
+    if (!trace_out.empty()) {
+        std::string error;
+        if (obs::Telemetry::write_file(trace_out, obs::Telemetry::trace_json(),
+                                       error)) {
+            std::printf("wrote %s\n", trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                         trace_out.c_str(), error.c_str());
+        }
+    }
 
     return 0;
 }
