@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "control/transport.h"
+#include "util/strings.h"
 
 namespace ndb::control {
 
@@ -12,6 +13,7 @@ const char* payload_name(Response::Payload payload) {
         case Response::Payload::register_value: return "register_value";
         case Response::Payload::counter_value: return "counter_value";
         case Response::Payload::snapshot: return "snapshot";
+        case Response::Payload::op_statuses: return "op_statuses";
     }
     return "?";
 }
@@ -50,6 +52,9 @@ Response dispatch(RuntimeApi& device, const Request& request) {
                 resp.payload = Response::Payload::snapshot;
             } else if constexpr (std::is_same_v<T, ResetReq>) {
                 resp.status = device.reset_state();
+            } else if constexpr (std::is_same_v<T, ApplyConfigReq>) {
+                resp.op_statuses = device.apply(req.ops);
+                resp.payload = Response::Payload::op_statuses;
             }
         },
         request);
@@ -127,6 +132,26 @@ Status RuntimeClient::read_counter(const std::string& name, std::uint64_t index,
 Status RuntimeClient::configure_meter(const std::string& name, std::uint64_t index,
                                       const MeterConfig& config) {
     return transact(ConfigureMeterReq{name, index, config}).status;
+}
+
+std::vector<Status> RuntimeClient::apply(std::span<const ConfigOp> ops) {
+    if (ops.empty()) return {};
+    ApplyConfigReq req;
+    req.ops.assign(ops.begin(), ops.end());
+    const Response resp = transact(req);
+    Status st = expect_payload(resp, Response::Payload::op_statuses);
+    if (st.ok && resp.op_statuses.size() != ops.size()) {
+        st = Status::failure(
+            util::format("response carried %zu status(es) for %zu op(s)",
+                         resp.op_statuses.size(), ops.size()));
+    }
+    if (!st.ok) {
+        // The whole frame failed (lost on the wire, or a protocol error):
+        // report the same failure on every op so callers' per-op accounting
+        // -- and the "wire:" message prefix -- is preserved.
+        return std::vector<Status>(ops.size(), st);
+    }
+    return resp.op_statuses;
 }
 
 StatusSnapshot RuntimeClient::snapshot() {

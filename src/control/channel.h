@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -56,11 +57,17 @@ struct ConfigureMeterReq {
 };
 struct SnapshotReq {};
 struct ResetReq {};
+// Batched configuration: every op of a scenario in one frame-level round
+// trip instead of one frame per op.  The response carries one Status per op
+// (Payload::op_statuses), so callers keep per-op accounting.
+struct ApplyConfigReq {
+    std::vector<ConfigOp> ops;
+};
 
 using Request = std::variant<AddEntryReq, DeleteEntryReq, SetDefaultReq,
                              ClearTableReq, WriteRegisterReq, ReadRegisterReq,
                              ReadCounterReq, ConfigureMeterReq, SnapshotReq,
-                             ResetReq>;
+                             ResetReq, ApplyConfigReq>;
 
 // --- response -------------------------------------------------------------------
 
@@ -75,6 +82,7 @@ struct Response {
         register_value = 1,
         counter_value = 2,
         snapshot = 3,
+        op_statuses = 4,
     };
 
     Status status;
@@ -82,6 +90,7 @@ struct Response {
     Bitvec register_value;       // payload == register_value
     CounterValue counter_value;  // payload == counter_value
     StatusSnapshot snapshot;     // payload == snapshot
+    std::vector<Status> op_statuses;  // payload == op_statuses
 };
 
 const char* payload_name(Response::Payload payload);
@@ -134,6 +143,11 @@ public:
                         CounterValue& out) override;
     Status configure_meter(const std::string& name, std::uint64_t index,
                            const MeterConfig& config) override;
+    // One ApplyConfigReq frame for the whole batch.  A transport-level
+    // failure (timeout, wrong payload) is reported on every op, so per-op
+    // accounting -- including the "wire:" failure-message convention --
+    // survives the batching.
+    std::vector<Status> apply(std::span<const ConfigOp> ops) override;
     StatusSnapshot snapshot() override;
     Status reset_state() override;
 

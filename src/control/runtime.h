@@ -4,12 +4,22 @@
 // device: table entries, default actions, registers, counters, meters and
 // the status snapshot.  Devices implement it directly; RuntimeClient speaks
 // it over the message channel (the paper's "dedicated interface").
+//
+// Two addressing modes coexist.  The string overloads name tables and
+// externs the way P4 source does and re-resolve on every call; the handle
+// overloads resolve once (resolve_table / resolve_extern) and then address
+// by id, which is what a production controller holding thousands of flow
+// entries actually does.  Handles are invalidated by load(): backends bump
+// a generation counter, and an op presented with a stale handle fails
+// loudly instead of poking whatever now owns that id.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "control/config.h"
 #include "control/snapshot.h"
 #include "util/bitvec.h"
 
@@ -17,41 +27,46 @@ namespace ndb::control {
 
 using util::Bitvec;
 
-struct Status {
-    bool ok = true;
-    std::string message;
+// Resolved reference to a table.  `id` < 0 means the backend does not
+// support handle addressing (the base-class default); ops on such a handle
+// fall back to the carried name.
+struct TableHandle {
+    int id = -1;
+    std::uint64_t generation = 0;
+    std::string name;
 
-    static Status success() { return {}; }
-    static Status failure(std::string msg) { return {false, std::move(msg)}; }
-    explicit operator bool() const { return ok; }
+    bool valid() const { return id >= 0; }
 };
 
-// Control-plane view of a table entry, with names instead of ids.
-struct EntrySpec {
-    std::vector<Bitvec> key_values;
-    std::vector<Bitvec> key_masks;   // ternary
-    int prefix_len = -1;             // lpm
-    int priority = 0;                // ternary
-    std::string action;
-    std::vector<Bitvec> action_args;
-};
+// Resolved reference to an extern (register / counter / meter) instance.
+struct ExternHandle {
+    int id = -1;
+    std::uint64_t generation = 0;
+    std::string name;
 
-struct CounterValue {
-    std::uint64_t packets = 0;
-    std::uint64_t bytes = 0;
-};
-
-struct MeterConfig {
-    double committed_rate_bps = 0;     // bytes per second
-    std::uint64_t committed_burst = 0;
-    double excess_rate_bps = 0;
-    std::uint64_t excess_burst = 0;
+    bool valid() const { return id >= 0; }
 };
 
 class RuntimeApi {
 public:
     virtual ~RuntimeApi() = default;
 
+    // --- resolution ---------------------------------------------------------
+    // The defaults return name-only handles (id -1): every op on them takes
+    // the string path below, so backends that never override these still
+    // speak the whole handle API correctly, just without the fast path.
+    virtual TableHandle resolve_table(const std::string& name) {
+        TableHandle h;
+        h.name = name;
+        return h;
+    }
+    virtual ExternHandle resolve_extern(const std::string& name) {
+        ExternHandle h;
+        h.name = name;
+        return h;
+    }
+
+    // --- string-addressed surface -------------------------------------------
     virtual Status add_entry(const std::string& table, const EntrySpec& entry) = 0;
     virtual Status delete_entry(const std::string& table, const EntrySpec& entry) = 0;
     virtual Status set_default_action(const std::string& table,
@@ -67,6 +82,37 @@ public:
                                 CounterValue& out) = 0;
     virtual Status configure_meter(const std::string& name, std::uint64_t index,
                                    const MeterConfig& config) = 0;
+
+    // --- handle-addressed surface -------------------------------------------
+    // Defaults delegate to the string overloads via the handle's name, so
+    // every RuntimeApi (RuntimeClient included) accepts handles; backends
+    // with id-indexed stores override for resolution-free dispatch.
+    virtual Status add_entry(const TableHandle& table, const EntrySpec& entry) {
+        return add_entry(table.name, entry);
+    }
+    virtual Status delete_entry(const TableHandle& table, const EntrySpec& entry) {
+        return delete_entry(table.name, entry);
+    }
+    virtual Status set_default_action(const TableHandle& table,
+                                      const std::string& action,
+                                      const std::vector<Bitvec>& args) {
+        return set_default_action(table.name, action, args);
+    }
+    virtual Status write_register(const ExternHandle& ext, std::uint64_t index,
+                                  const Bitvec& value) {
+        return write_register(ext.name, index, value);
+    }
+    virtual Status read_register(const ExternHandle& ext, std::uint64_t index,
+                                 Bitvec& out) {
+        return read_register(ext.name, index, out);
+    }
+
+    // --- batched configuration ----------------------------------------------
+    // Applies the ops in order and returns one Status per op (never fewer:
+    // a transport-level loss reports per-op failures).  The default loops
+    // apply_config_op locally; RuntimeClient overrides it with a single
+    // frame-level round trip over the wire.
+    virtual std::vector<Status> apply(std::span<const ConfigOp> ops);
 
     virtual StatusSnapshot snapshot() = 0;
     virtual Status reset_state() = 0;

@@ -34,6 +34,16 @@ std::string StatusSnapshot::to_string() const {
                           static_cast<unsigned long long>(t.entries),
                           static_cast<unsigned long long>(t.capacity));
     }
+    for (const auto& e : externs) {
+        s += util::format("  %s %s: cells=%llu state=%016llx", e.kind.c_str(),
+                          e.name.c_str(), static_cast<unsigned long long>(e.cells),
+                          static_cast<unsigned long long>(e.state_hash));
+        if (e.unconfigured_meters > 0) {
+            s += util::format(" unconfigured=%llu", static_cast<unsigned long long>(
+                                                        e.unconfigured_meters));
+        }
+        s += "\n";
+    }
     return s;
 }
 

@@ -370,6 +370,69 @@ bool read_meter(Reader& r, MeterConfig& m) {
            r.f64(m.excess_rate_bps) && r.u64(m.excess_burst);
 }
 
+void write_config_op(Writer& w, const ConfigOp& op) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.str(op.target);
+    switch (op.kind) {
+        case ConfigOp::Kind::add_entry:
+            write_entry(w, op.entry);
+            break;
+        case ConfigOp::Kind::set_default_action:
+            w.str(op.action);
+            write_bitvec_seq(w, op.action_args);
+            break;
+        case ConfigOp::Kind::write_register:
+            w.u64(op.index);
+            w.bitvec(op.value);
+            break;
+        case ConfigOp::Kind::configure_meter:
+            w.u64(op.index);
+            write_meter(w, op.meter);
+            break;
+    }
+}
+
+bool read_config_op(Reader& r, ConfigOp& op) {
+    std::uint8_t kind;
+    if (!(r.u8(kind) && r.str(op.target))) return false;
+    if (kind > static_cast<std::uint8_t>(ConfigOp::Kind::configure_meter)) {
+        return r.fail(util::format("unknown config op kind %u", kind));
+    }
+    op.kind = static_cast<ConfigOp::Kind>(kind);
+    switch (op.kind) {
+        case ConfigOp::Kind::add_entry:
+            return read_entry(r, op.entry);
+        case ConfigOp::Kind::set_default_action:
+            return r.str(op.action) && read_bitvec_seq(r, op.action_args);
+        case ConfigOp::Kind::write_register:
+            return r.u64(op.index) && r.bitvec(op.value);
+        case ConfigOp::Kind::configure_meter:
+            return r.u64(op.index) && read_meter(r, op.meter);
+    }
+    return false;
+}
+
+void write_status_seq(Writer& w, const std::vector<Status>& statuses) {
+    w.u32(static_cast<std::uint32_t>(statuses.size()));
+    for (const Status& st : statuses) {
+        w.u8(st.ok ? 1 : 0);
+        w.str(st.message);
+    }
+}
+
+bool read_status_seq(Reader& r, std::vector<Status>& statuses) {
+    std::uint32_t n;
+    if (!r.count(n)) return false;
+    statuses.resize(n);
+    for (Status& st : statuses) {
+        std::uint8_t ok_flag;
+        if (!(r.u8(ok_flag) && r.str(st.message))) return false;
+        if (ok_flag > 1) return r.fail("status flag is neither 0 nor 1");
+        st.ok = ok_flag == 1;
+    }
+    return true;
+}
+
 void write_snapshot(Writer& w, const StatusSnapshot& s) {
     w.u64(s.taken_at_ns);
     w.u64(s.stages.parser_in);
@@ -395,6 +458,14 @@ void write_snapshot(Writer& w, const StatusSnapshot& s) {
         w.u64(t.entries);
         w.u64(t.capacity);
     }
+    w.u32(static_cast<std::uint32_t>(s.externs.size()));
+    for (const auto& e : s.externs) {
+        w.str(e.name);
+        w.str(e.kind);
+        w.u64(e.cells);
+        w.u64(e.state_hash);
+        w.u64(e.unconfigured_meters);
+    }
 }
 
 bool read_snapshot(Reader& r, StatusSnapshot& s) {
@@ -418,6 +489,14 @@ bool read_snapshot(Reader& r, StatusSnapshot& s) {
     for (auto& t : s.tables) {
         if (!(r.str(t.name) && r.u64(t.hits) && r.u64(t.misses) &&
               r.u64(t.entries) && r.u64(t.capacity))) {
+            return false;
+        }
+    }
+    if (!r.count(n)) return false;
+    s.externs.resize(n);
+    for (auto& e : s.externs) {
+        if (!(r.str(e.name) && r.str(e.kind) && r.u64(e.cells) &&
+              r.u64(e.state_hash) && r.u64(e.unconfigured_meters))) {
             return false;
         }
     }
@@ -454,6 +533,9 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
                 w.str(req.name);
                 w.u64(req.index);
                 write_meter(w, req.config);
+            } else if constexpr (std::is_same_v<T, ApplyConfigReq>) {
+                w.u32(static_cast<std::uint32_t>(req.ops.size()));
+                for (const ConfigOp& op : req.ops) write_config_op(w, op);
             }
             // SnapshotReq / ResetReq carry no fields beyond the tag.
         },
@@ -518,6 +600,22 @@ Decode decode_request(std::span<const std::uint8_t> payload, Request& out) {
         }
         case 8: out = SnapshotReq{}; break;
         case 9: out = ResetReq{}; break;
+        case 10: {
+            ApplyConfigReq req;
+            std::uint32_t n = 0;
+            ok = r.count(n);
+            if (ok) {
+                req.ops.resize(n);
+                for (ConfigOp& op : req.ops) {
+                    if (!read_config_op(r, op)) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            out = std::move(req);
+            break;
+        }
         default:
             return Decode::bad(util::format("unknown request tag %u", tag));
     }
@@ -546,6 +644,9 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
         case Response::Payload::snapshot:
             write_snapshot(w, response.snapshot);
             break;
+        case Response::Payload::op_statuses:
+            write_status_seq(w, response.op_statuses);
+            break;
     }
     return w.take();
 }
@@ -554,7 +655,7 @@ Decode decode_response(std::span<const std::uint8_t> payload, Response& out) {
     Reader r(payload);
     std::uint8_t kind, ok_flag;
     if (!r.u8(kind)) return Decode::bad("response payload is empty: " + r.error());
-    if (kind > static_cast<std::uint8_t>(Response::Payload::snapshot)) {
+    if (kind > static_cast<std::uint8_t>(Response::Payload::op_statuses)) {
         return Decode::bad(util::format("unknown response payload kind %u", kind));
     }
     out = Response{};
@@ -574,6 +675,9 @@ Decode decode_response(std::span<const std::uint8_t> payload, Response& out) {
                 break;
             case Response::Payload::snapshot:
                 ok = read_snapshot(r, out.snapshot);
+                break;
+            case Response::Payload::op_statuses:
+                ok = read_status_seq(r, out.op_statuses);
                 break;
         }
     }

@@ -142,7 +142,7 @@ struct DivergenceRecord {
     std::string backend;   // BackendSpec label
     std::string program;
     std::string quirk_signature;
-    std::string kind;      // "output" | "snapshot" | "config" | "internal" | "mgmt"
+    std::string kind;  // "output"|"snapshot"|"config"|"internal"|"mgmt"|"state"
     std::string detail;    // first observed difference, human-readable
 
     // Triage results.

@@ -55,12 +55,18 @@ WorkerContext::WorkerContext(const std::string& reference_backend,
 
 std::vector<packet::Packet> scenario_packets(const Scenario& sc) {
     // Build the stream once; every backend sees byte-identical stimuli on
-    // an identical timeline.
+    // an identical timeline.  A spec-level rate stretches the slot so
+    // stateful scenarios can straddle aging timeouts within one stream;
+    // the integer slot keeps the timeline exactly reproducible.
+    const std::uint64_t slot_ns =
+        sc.spec.rate_pps > 0
+            ? static_cast<std::uint64_t>(1e9 / sc.spec.rate_pps + 0.5)
+            : kSlotNs;
     TestPacketGenerator pgen(sc.spec);
     std::vector<packet::Packet> packets;
     packets.reserve(sc.spec.count);
     for (std::uint64_t seq = 1; seq <= sc.spec.count; ++seq) {
-        packets.push_back(pgen.make_packet(seq, kEpochNs + (seq - 1) * kSlotNs));
+        packets.push_back(pgen.make_packet(seq, kEpochNs + (seq - 1) * slot_ns));
     }
     return packets;
 }
@@ -85,8 +91,11 @@ DeviceRun run_scenario_on(target::Device& dev, const Scenario& sc,
         control::WireChannel channel(transport);
         channel.set_retry_policy(mgmt->retry);
         control::RuntimeClient client(channel);
-        for (const auto& op : sc.config) {
-            const control::Status st = apply_config_op(client, op);
+        // The whole scenario's configuration rides one ApplyConfigReq frame;
+        // per-op Status comes back in the response, so the accounting below
+        // is unchanged from the one-frame-per-op protocol.
+        const std::vector<control::Status> statuses = client.apply(sc.config);
+        for (const control::Status& st : statuses) {
             run.config_ok.push_back(st.ok);
             run.config_wire_fail.push_back(
                 !st.ok && util::starts_with(st.message, "wire:"));
@@ -102,8 +111,8 @@ DeviceRun run_scenario_on(target::Device& dev, const Scenario& sc,
             acct->dedup_hits += transport.server_stats().dedup_hits;
         }
     } else {
-        for (const auto& op : sc.config) {
-            run.config_ok.push_back(static_cast<bool>(apply_config_op(dev, op)));
+        for (const control::Status& st : dev.apply(sc.config)) {
+            run.config_ok.push_back(st.ok);
             run.config_wire_fail.push_back(false);
         }
     }
@@ -186,9 +195,41 @@ std::optional<RawDivergence> diff_runs(const DeviceRun& dut,
         }
     }
 
-    // Internal visibility first: the taps see divergences (wrong parser
-    // verdict, clobbered state) that output bytes can hide entirely.  Only
-    // comparable when both devices recorded the full stream.
+    // Per-flow state next: register/counter contents diverge when a target
+    // ages, drops, or misplaces flow entries even while every output byte
+    // matches (a stale NAT binding forwards correctly right up to the
+    // packet where it does not).  The snapshot hashes make the disagreement
+    // first-class instead of waiting for a packet to expose it.
+    for (std::size_t i = 0;
+         i < dut.snapshot.externs.size() && i < ref.snapshot.externs.size();
+         ++i) {
+        const auto& de = dut.snapshot.externs[i];
+        const auto& ge = ref.snapshot.externs[i];
+        if (de.state_hash != ge.state_hash) {
+            return RawDivergence{
+                "state",
+                util::format("%s %s state hash: dut=%016llx golden=%016llx",
+                             de.kind.c_str(), de.name.c_str(),
+                             static_cast<unsigned long long>(de.state_hash),
+                             static_cast<unsigned long long>(ge.state_hash)),
+                0};
+        }
+        if (de.unconfigured_meters != ge.unconfigured_meters) {
+            return RawDivergence{
+                "state",
+                util::format("meter %s unconfigured cells: dut=%llu golden=%llu",
+                             de.name.c_str(),
+                             static_cast<unsigned long long>(
+                                 de.unconfigured_meters),
+                             static_cast<unsigned long long>(
+                                 ge.unconfigured_meters)),
+                0};
+        }
+    }
+
+    // Internal visibility next: the taps see divergences (wrong parser
+    // verdict, clobbered metadata) that output bytes can hide entirely.
+    // Only comparable when both devices recorded the full stream.
     if (!dut.taps.empty() && dut.taps.size() == ref.taps.size()) {
         for (std::size_t i = 0; i < dut.taps.size(); ++i) {
             const TapDigest& d = dut.taps[i];
@@ -392,8 +433,9 @@ void execute_scenario(WorkerContext& ctx, const Scenario& sc,
             rec.localized.diverged
                 ? dataplane::stage_name(rec.localized.stage)
                 : (rec.kind == "config"  ? "control"
-                   : rec.kind == "mgmt" ? "mgmt"
-                                        : "unlocalized");
+                   : rec.kind == "mgmt"  ? "mgmt"
+                   : rec.kind == "state" ? "state"
+                                         : "unlocalized");
         rec.fingerprint = rec.backend + "|" + rec.quirk_signature + "|" + stage;
         outcome.findings.push_back(std::move(rec));
     }

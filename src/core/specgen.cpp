@@ -14,20 +14,6 @@ namespace ndb::core {
 using util::Bitvec;
 using util::Rng;
 
-control::Status apply_config_op(control::RuntimeApi& rt, const ConfigOp& op) {
-    switch (op.kind) {
-        case ConfigOp::Kind::add_entry:
-            return rt.add_entry(op.target, op.entry);
-        case ConfigOp::Kind::set_default_action:
-            return rt.set_default_action(op.target, op.action, op.action_args);
-        case ConfigOp::Kind::write_register:
-            return rt.write_register(op.target, op.index, op.value);
-        case ConfigOp::Kind::configure_meter:
-            return rt.configure_meter(op.target, op.index, op.meter);
-    }
-    return control::Status::failure("unknown config op");
-}
-
 namespace {
 
 // Field bit offsets in an Ethernet(+IPv4(+UDP)) frame.
@@ -35,6 +21,8 @@ constexpr std::size_t kEthDstBit = 0;
 constexpr std::size_t kEthSrcBit = 48;
 constexpr std::size_t kEthTypeBit = 96;
 constexpr std::size_t kIpv4ProtoBit = (14 + 9) * 8;
+constexpr std::size_t kIpv4SrcBit = (14 + 12) * 8;
+constexpr std::size_t kUdpSrcPortBit = (14 + 20) * 8;
 constexpr std::size_t kUdpDstPortBit = (14 + 20 + 2) * 8;
 
 Bitvec mac_bits(const packet::Mac& mac) {
@@ -47,6 +35,15 @@ ConfigOp entry_op(std::string table, control::EntrySpec entry) {
     op.kind = ConfigOp::Kind::add_entry;
     op.target = std::move(table);
     op.entry = std::move(entry);
+    return op;
+}
+
+ConfigOp register_op(std::string name, std::uint64_t index, Bitvec value) {
+    ConfigOp op;
+    op.kind = ConfigOp::Kind::write_register;
+    op.target = std::move(name);
+    op.index = index;
+    op.value = std::move(value);
     return op;
 }
 
@@ -353,6 +350,114 @@ void build_meta_echo(Rng& rng, Scenario& s) {
                  0));
 }
 
+// --- stateful network functions ----------------------------------------------
+//
+// The flow-oriented plans below stretch one scenario across production-style
+// flow dynamics: many concurrent flows (sweeping 5-tuple fields), connection
+// churn (flows recurring with a fixed period so register buckets are
+// revisited, refreshed, and stolen), and state expiry (rate_pps slows the
+// virtual clock so inter-visit gaps straddle the programs' aging timeouts of
+// 64us / 128us).  kNfFlowRate's 31.25us slot puts a same-flow revisit at
+// ~62.5us -- just inside the NAT timeout, so one lost refresh or a +-1us
+// clock skew flips the aging decision.
+
+constexpr double kNfFlowRate = 32000.0;  // 31.25us between packets
+
+void build_nat_gateway(Rng& rng, Scenario& s) {
+    // A couple of statically-mapped sources bypass the dynamic binding table.
+    const std::uint64_t statics = rng.next_range(0, 2);
+    for (std::uint64_t i = 0; i < statics; ++i) {
+        control::EntrySpec e;
+        e.key_values = {Bitvec(32, scenario::host_ip(static_cast<int>(1 + i)))};
+        e.action = "static_map";
+        e.action_args = {Bitvec(32, 0xc0a800f0u + static_cast<std::uint32_t>(i)),
+                         Bitvec(9, pick_port(rng))};
+        s.config.push_back(entry_op("nat_static", std::move(e)));
+    }
+    // `flows` concurrent sources share the 64-bucket binding table; each
+    // recurs every `flows` slots, so refreshes race the 64us timeout.
+    const std::uint64_t flows = rng.next_range(2, 5);
+    s.spec.count = rng.next_range(12, 24);
+    s.spec.rate_pps = kNfFlowRate;
+    s.spec.tmpl.base = scenario::ipv4_udp_packet();
+    s.spec.tmpl.mutations.push_back(mutation(
+        kIpv4SrcBit + 24, 8, FieldMutation::Mode::sweep, 1, 1, flows));
+    if (rng.next_bool(0.5)) {
+        // Vary the destination too: more (src, dst) pairs, more buckets.
+        s.spec.tmpl.mutations.push_back(mutation(
+            scenario::kIpv4DstBit + 24, 8, FieldMutation::Mode::sweep, 8, 1, 2));
+    }
+}
+
+void build_flow_firewall(Rng& rng, Scenario& s) {
+    {  // host .1 is inside; its outbound packets open pinholes
+        control::EntrySpec e;
+        e.key_values = {Bitvec(32, scenario::host_ip(1))};
+        e.action = "mark_outbound";
+        s.config.push_back(entry_op("internal_hosts", std::move(e)));
+    }
+    if (rng.next_bool(0.4)) {  // occasionally a second inside host
+        control::EntrySpec e;
+        e.key_values = {Bitvec(32, scenario::host_ip(3))};
+        e.action = "mark_outbound";
+        s.config.push_back(entry_op("internal_hosts", std::move(e)));
+    }
+    // Alternate the two directions of one connection: odd packets are the
+    // .2 -> .1 reply (dropped until a pinhole exists), even packets are the
+    // .1 -> .2 outbound that installs/refreshes it.  The direction-symmetric
+    // flow key makes both sides land in one bucket.
+    s.spec.count = rng.next_range(12, 24);
+    s.spec.rate_pps = kNfFlowRate;
+    s.spec.tmpl.base = scenario::ipv4_udp_packet();
+    s.spec.tmpl.mutations.push_back(
+        mutation(kIpv4SrcBit + 24, 8, FieldMutation::Mode::sweep, 1, 1, 2));
+    s.spec.tmpl.mutations.push_back(
+        mutation(scenario::kIpv4DstBit + 24, 8, FieldMutation::Mode::sweep, 2, 255, 2));
+}
+
+void build_maglev_lb(Rng& rng, Scenario& s) {
+    {  // the VIP every client targets
+        control::EntrySpec e;
+        e.key_values = {Bitvec(32, scenario::host_ip(2))};
+        e.action = "vip_select";
+        e.action_args = {Bitvec(9, pick_port(rng))};
+        s.config.push_back(entry_op("vip", std::move(e)));
+    }
+    // Populate a subset of the 64 consistent-hash buckets with backend
+    // addresses; flows hashing into unpopulated buckets hit the drop path.
+    const std::uint64_t populated = rng.next_range(10, 24);
+    for (std::uint64_t i = 0; i < populated; ++i) {
+        s.config.push_back(register_op(
+            "backend_map", rng.next_below(64),
+            Bitvec(32, 0x0a000100u +
+                           static_cast<std::uint32_t>(rng.next_range(1, 250)))));
+    }
+    s.spec.count = rng.next_range(8, 16);
+    s.spec.tmpl.base = scenario::ipv4_udp_packet();
+    // Random source port: each packet is its own 5-tuple, spreading flows
+    // across the bucket space.
+    s.spec.tmpl.mutations.push_back(
+        mutation(kUdpSrcPortBit, 16, FieldMutation::Mode::random, 0));
+    if (rng.next_bool(0.3)) {
+        s.spec.tmpl.mutations.push_back(
+            mutation(kIpv4SrcBit + 24, 8, FieldMutation::Mode::sweep, 1, 1, 3));
+    }
+}
+
+void build_learning_bridge(Rng& rng, Scenario& s) {
+    // Source and destination MACs cycle with co-prime periods, so over the
+    // stream every (src, dst) pairing occurs: stations are learned, later
+    // addressed (forward on the learned port), and unknown destinations
+    // flood.  No control-plane config: the MAC table is pure datapath state.
+    const std::uint64_t talkers = rng.next_range(3, 4);
+    s.spec.count = rng.next_range(12, 20);
+    s.spec.tmpl.base = scenario::ipv4_udp_packet();
+    s.spec.tmpl.mutations.push_back(mutation(
+        kEthSrcBit + 40, 8, FieldMutation::Mode::sweep, 1, 1, talkers));
+    s.spec.tmpl.mutations.push_back(mutation(
+        kEthDstBit + 40, 8, FieldMutation::Mode::sweep, 1, 1, talkers + 1));
+}
+
 }  // namespace
 
 std::vector<std::string> SpecGenerator::default_programs() {
@@ -420,6 +525,10 @@ Scenario SpecGenerator::build(Rng& rng, std::size_t which,
     else if (s.program == "shift_mangler") build_shift_mangler(rng, s);
     else if (s.program == "metered_policer") build_metered_policer(rng, s);
     else if (s.program == "meta_echo") build_meta_echo(rng, s);
+    else if (s.program == "nat_gateway") build_nat_gateway(rng, s);
+    else if (s.program == "flow_firewall") build_flow_firewall(rng, s);
+    else if (s.program == "maglev_lb") build_maglev_lb(rng, s);
+    else if (s.program == "learning_bridge") build_learning_bridge(rng, s);
     else build_passthrough(rng, s);  // catalogue entry without a tailored plan
 
     return s;

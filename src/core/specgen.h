@@ -22,25 +22,11 @@
 
 namespace ndb::core {
 
-// One replayable control-plane programming step.  Scenarios carry these
-// instead of side effects so the identical configuration can be applied to
-// the reference device and every DUT in the sweep.
-struct ConfigOp {
-    enum class Kind { add_entry, set_default_action, write_register, configure_meter };
-
-    Kind kind = Kind::add_entry;
-    std::string target;  // table name, or register/meter extern name
-
-    control::EntrySpec entry;                // add_entry
-    std::string action;                      // set_default_action
-    std::vector<util::Bitvec> action_args;   // set_default_action
-    std::uint64_t index = 0;                 // write_register / configure_meter
-    util::Bitvec value;                      // write_register
-    control::MeterConfig meter;              // configure_meter
-};
-
-// Executes one op against a runtime surface.
-control::Status apply_config_op(control::RuntimeApi& rt, const ConfigOp& op);
+// The replayable programming step lives with the control-plane value types
+// (control/config.h) so the wire codec can batch it; these aliases keep the
+// campaign-side spelling that scenario synthesis and the corpus grew up on.
+using ConfigOp = control::ConfigOp;
+using control::apply_config_op;
 
 struct Scenario {
     std::uint64_t seed = 0;

@@ -1021,6 +1021,12 @@ void CompiledPipeline::exec(std::uint32_t pc, PacketState& state) {
                 ++state.cycles;
                 const std::uint64_t idx =
                     in.expr.len ? eval(in.expr, state, *fr).to_u64() : 0;
+                // stale_entry quirk: cells holding non-zero state are never
+                // refreshed by the datapath (mirrors the interpreter hook).
+                if (quirks_.stale_entry &&
+                    !stateful_.register_read(in.a, idx).is_zero()) {
+                    break;
+                }
                 stateful_.register_write(in.a, idx, eval(in.expr2, state, *fr));
                 break;
             }
@@ -1055,7 +1061,12 @@ void CompiledPipeline::exec(std::uint32_t pc, PacketState& state) {
                     v.write_bytes(
                         std::span<std::uint8_t>(bytes_scratch_).subspan(old));
                 }
-                const std::uint32_t h = packet::crc32(bytes_scratch_);
+                std::uint32_t h = packet::crc32(bytes_scratch_);
+                // hash_collision_misdirect quirk: keep only N low-order bits.
+                if (quirks_.hash_collision_misdirect > 0 &&
+                    quirks_.hash_collision_misdirect < 32) {
+                    h &= (1u << quirks_.hash_collision_misdirect) - 1u;
+                }
                 store_field(state, in.a, in.b, Bitvec(32, h).resize(in.d));
                 break;
             }

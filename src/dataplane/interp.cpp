@@ -258,10 +258,20 @@ void Interpreter::exec_extern(const Stmt& s, PacketState& state, Frame& frame) {
             state.set(s.ext_dst, v.resize(prog_.field(s.ext_dst).width));
             return;
         }
-        case p4::ir::ExternKind::register_write:
-            stateful_.register_write(s.extern_id, index_of(s.index_expr),
+        case p4::ir::ExternKind::register_write: {
+            const std::uint64_t index = index_of(s.index_expr);
+            // stale_entry quirk: the faulty datapath never refreshes a cell
+            // that already holds state, so the first write to a bucket wins
+            // forever (control-plane writes are unaffected: they go through
+            // the runtime API, not this executor).
+            if (quirks_.stale_entry &&
+                !stateful_.register_read(s.extern_id, index).is_zero()) {
+                return;
+            }
+            stateful_.register_write(s.extern_id, index,
                                      eval_expr(prog_, *s.value, state, frame, quirks_));
             return;
+        }
         case p4::ir::ExternKind::counter_count:
             stateful_.counter_count(s.extern_id, index_of(s.index_expr), pkt_bytes);
             return;
@@ -280,7 +290,13 @@ void Interpreter::exec_extern(const Stmt& s, PacketState& state, Frame& frame) {
                 bytes_scratch_.resize(old + static_cast<std::size_t>((v.width() + 7) / 8));
                 v.write_bytes(std::span<std::uint8_t>(bytes_scratch_).subspan(old));
             }
-            const std::uint32_t h = packet::crc32(bytes_scratch_);
+            std::uint32_t h = packet::crc32(bytes_scratch_);
+            // hash_collision_misdirect quirk: the hash unit only produces N
+            // low-order bits, collapsing the bucket space.
+            if (quirks_.hash_collision_misdirect > 0 &&
+                quirks_.hash_collision_misdirect < 32) {
+                h &= (1u << quirks_.hash_collision_misdirect) - 1u;
+            }
             state.set(s.ext_dst,
                       Bitvec(32, h).resize(prog_.field(s.ext_dst).width));
             return;

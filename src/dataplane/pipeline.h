@@ -146,6 +146,9 @@ private:
     StageCounters counters_;
     coverage::CoverageMap* coverage_ = nullptr;
     std::uint64_t cov_salt_ = 0;  // remembered for late engine switches
+    // expiry_off_by_one is active AND the program reads the aging clock
+    // (precomputed IR scan; see program_reads_timestamp in pipeline.cpp).
+    bool quirk_expiry_clock_ = false;
     // Per-packet execution state, reset in place each process() call so the
     // steady-state hot path performs no per-packet allocation.
     PacketState state_;

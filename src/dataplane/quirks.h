@@ -39,10 +39,28 @@ struct Quirks {
     // User metadata starts with a garbage pattern instead of zeros.
     bool metadata_clobber = false;
 
+    // --- state-quirk family: bugs only per-flow state can expose ---
+
+    // A register write to a cell already holding a non-zero value is
+    // silently dropped: stale flow entries win over refreshes (the classic
+    // failed learn/refresh path in NAT and firewall tables).
+    bool stale_entry = false;
+
+    // The aging clock loses its low microsecond bit (half-resolution
+    // timestamp latch), so expiry decisions flip near the timeout boundary
+    // and stored last-seen stamps drift off the reference by one.
+    bool expiry_off_by_one = false;
+
+    // The hash unit only produces this many low-order result bits (0 = no
+    // quirk): flows that should spread over the whole bucket space collide
+    // into 2^N buckets and get misdirected.
+    int hash_collision_misdirect = 0;
+
     bool any() const {
         return reject_as_accept || parser_depth_limit > 0 || skip_checksum_update ||
                shift_miscompile || table_size_clamp > 0 ||
-               ternary_priority_inverted || metadata_clobber;
+               ternary_priority_inverted || metadata_clobber || stale_entry ||
+               expiry_off_by_one || hash_collision_misdirect > 0;
     }
 
     // Canonical "+"-joined list of the active quirks ("none" when faithful),
@@ -64,6 +82,12 @@ struct Quirks {
         }
         if (ternary_priority_inverted) tag("ternary_priority_inverted");
         if (metadata_clobber) tag("metadata_clobber");
+        if (stale_entry) tag("stale_entry");
+        if (expiry_off_by_one) tag("expiry_off_by_one");
+        if (hash_collision_misdirect > 0) {
+            tag("hash_collision_misdirect=" +
+                std::to_string(hash_collision_misdirect));
+        }
         return s.empty() ? "none" : s;
     }
 };

@@ -1,7 +1,14 @@
 // Stateful externs: register arrays, counters, meters.
+//
+// One program's extern instances live in a single dense vector indexed by
+// extern id; each slot is typed by its ExternDecl kind.  The accessors
+// below are the only state surface the execution engines and the control
+// plane touch, so a snapshot of `info()` plus `reset_state()` fully
+// captures and clears a device's per-flow state.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "p4/ir.h"
@@ -23,6 +30,15 @@ public:
 
     MeterColor execute(std::uint64_t now_ns, std::uint64_t bytes);
 
+    // An unconfigured meter colors everything green (the defaults below are
+    // effectively infinite).  That is the correct permissive default for a
+    // fresh device, but a policer whose meter was never configured is a
+    // control-plane bug, so snapshots surface the flag.
+    bool configured() const { return configured_; }
+
+    // Folds the configured rates/bursts into an FNV-1a accumulator.
+    std::uint64_t fold_config(std::uint64_t h) const;
+
 private:
     void refill(std::uint64_t now_ns);
 
@@ -33,6 +49,7 @@ private:
     std::uint64_t committed_burst_ = 1'000'000'000;
     std::uint64_t excess_burst_ = 1'000'000'000;
     std::uint64_t last_refill_ns_ = 0;
+    bool configured_ = false;
 };
 
 // Runtime storage for every extern instance of one program.
@@ -56,25 +73,36 @@ public:
     MeterColor meter_execute(int extern_id, std::uint64_t index,
                              std::uint64_t now_ns, std::uint64_t bytes);
 
-    void reset();
+    // Per-extern summary for status snapshots.  `state_hash` digests the
+    // dynamic contents (register values, counter packets+bytes) and, for
+    // meters, the configured parameters -- not the live token buckets, whose
+    // floating-point residue would make byte-identical reports fragile.
+    struct Info {
+        std::string name;
+        std::string kind;  // "register" | "counter" | "meter"
+        std::uint64_t cells = 0;
+        std::uint64_t state_hash = 0;
+        std::uint64_t unconfigured_meters = 0;  // 0 for non-meters
+    };
+    std::vector<Info> info() const;
+
+    // Returns every extern to its power-on value: registers to zero,
+    // counters to zero, meters to unconfigured-permissive.  Exactly the
+    // state a freshly loaded program starts from.
+    void reset_state();
 
 private:
-    struct RegisterArray {
+    struct ExternState {
+        p4::ir::ExternDecl::Kind kind = p4::ir::ExternDecl::Kind::reg;
+        std::string name;
         int elem_width = 0;
-        std::vector<Bitvec> cells;
-    };
-    struct CounterArray {
-        std::vector<std::uint64_t> packets;
+        std::vector<Bitvec> cells;           // registers
+        std::vector<std::uint64_t> packets;  // counters
         std::vector<std::uint64_t> bytes;
-    };
-    struct MeterArray {
-        std::vector<MeterCell> cells;
+        std::vector<MeterCell> meters;       // meters
     };
 
-    const p4::ir::Program& prog_;
-    std::vector<RegisterArray> registers_;   // indexed by extern id (sparse)
-    std::vector<CounterArray> counters_;
-    std::vector<MeterArray> meters_;
+    std::vector<ExternState> externs_;  // dense, indexed by extern id
 };
 
 }  // namespace ndb::dataplane

@@ -825,6 +825,327 @@ NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
     return src;
 }
 
+std::string_view nat_gateway() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata {
+    bit<1>  translated;
+    bit<6>  bucket;
+    bit<32> stored_key;
+    bit<48> stored_last;
+    bit<48> now;
+    bit<48> age;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(64) nat_key;
+    register<bit<48>>(64) nat_last;
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action static_map(bit<32> src, bit<9> port) {
+        hdr.ipv4.srcAddr = src;
+        smeta.egress_spec = port;
+        meta.translated = 1;
+    }
+    table nat_static {
+        key = { hdr.ipv4.srcAddr : exact; }
+        actions = { static_map; NoAction; }
+        size = 256;
+        default_action = NoAction();
+    }
+    apply {
+        nat_static.apply();
+        if (meta.translated == 0) {
+            hash(meta.bucket, hdr.ipv4.srcAddr, hdr.ipv4.dstAddr);
+            nat_key.read(meta.stored_key, meta.bucket);
+            nat_last.read(meta.stored_last, meta.bucket);
+            meta.now = smeta.ingress_global_timestamp;
+            meta.age = meta.now - meta.stored_last;
+            if (meta.stored_key == 32w0 || meta.age >= 48w64) {
+                nat_key.write(meta.bucket, hdr.ipv4.srcAddr);
+                nat_last.write(meta.bucket, meta.now);
+                hdr.ipv4.srcAddr = 32w0xc0a80001;
+                smeta.egress_spec = 9w2;
+            } else {
+                if (meta.stored_key == hdr.ipv4.srcAddr) {
+                    nat_last.write(meta.bucket, meta.now);
+                    hdr.ipv4.srcAddr = 32w0xc0a80001;
+                    smeta.egress_spec = 9w2;
+                } else {
+                    drop();
+                }
+            }
+        }
+        ipv4_checksum_update(hdr.ipv4, hdr.ipv4.hdrChecksum);
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view flow_firewall() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+struct metadata {
+    bit<1>  outbound;
+    bit<32> fkey;
+    bit<6>  bucket;
+    bit<32> stored_key;
+    bit<48> stored_last;
+    bit<48> now;
+    bit<48> age;
+    bit<32> pkts;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(64) flow_key;
+    register<bit<48>>(64) flow_last;
+    register<bit<32>>(64) flow_pkts;
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action mark_outbound() {
+        meta.outbound = 1;
+    }
+    table internal_hosts {
+        key = { hdr.ipv4.srcAddr : exact; }
+        actions = { mark_outbound; NoAction; }
+        size = 256;
+        default_action = NoAction();
+    }
+    apply {
+        internal_hosts.apply();
+        meta.fkey = hdr.ipv4.srcAddr ^ hdr.ipv4.dstAddr;
+        hash(meta.bucket, meta.fkey);
+        flow_key.read(meta.stored_key, meta.bucket);
+        flow_last.read(meta.stored_last, meta.bucket);
+        meta.now = smeta.ingress_global_timestamp;
+        meta.age = meta.now - meta.stored_last;
+        if (meta.outbound == 1) {
+            flow_key.write(meta.bucket, meta.fkey);
+            flow_last.write(meta.bucket, meta.now);
+            flow_pkts.read(meta.pkts, meta.bucket);
+            flow_pkts.write(meta.bucket, meta.pkts + 1);
+            smeta.egress_spec = 9w1;
+        } else {
+            if (meta.stored_key == meta.fkey && meta.age < 48w128) {
+                flow_pkts.read(meta.pkts, meta.bucket);
+                flow_pkts.write(meta.bucket, meta.pkts + 1);
+                smeta.egress_spec = 9w2;
+            } else {
+                drop();
+            }
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view maglev_lb() {
+    static const std::string src = std::string(kEthernetAndIpv4) + R"P4(
+const bit<8> PROTO_TCP = 6;
+const bit<8> PROTO_UDP = 17;
+
+header l4_ports_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    l4_ports_t l4;
+}
+struct metadata {
+    bit<1>  vip_hit;
+    bit<6>  bucket;
+    bit<32> backend;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: reject;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_TCP: parse_l4;
+            PROTO_UDP: parse_l4;
+            default: reject;
+        }
+    }
+    state parse_l4 {
+        pkt.extract(hdr.l4);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(64) backend_map;
+    counter(64) bucket_hits;
+    action drop() {
+        mark_to_drop(smeta);
+    }
+    action vip_select(bit<9> port) {
+        smeta.egress_spec = port;
+        meta.vip_hit = 1;
+    }
+    table vip {
+        key = { hdr.ipv4.dstAddr : exact; }
+        actions = { vip_select; NoAction; }
+        size = 64;
+        default_action = NoAction();
+    }
+    apply {
+        vip.apply();
+        if (meta.vip_hit == 1) {
+            hash(meta.bucket, hdr.ipv4.srcAddr, hdr.ipv4.dstAddr,
+                 hdr.ipv4.protocol, hdr.l4.srcPort, hdr.l4.dstPort);
+            bucket_hits.count(meta.bucket);
+            backend_map.read(meta.backend, meta.bucket);
+            if (meta.backend == 32w0) {
+                drop();
+            } else {
+                hdr.ipv4.dstAddr = meta.backend;
+                ipv4_checksum_update(hdr.ipv4, hdr.ipv4.hdrChecksum);
+            }
+        } else {
+            drop();
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.l4);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
+std::string_view learning_bridge() {
+    static const std::string src = R"P4(
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers { ethernet_t ethernet; }
+struct metadata {
+    bit<6>  src_bucket;
+    bit<6>  dst_bucket;
+    bit<48> stored_key;
+    bit<9>  out_port;
+}
+
+parser MyParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control MyIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<48>>(64) mac_key;
+    register<bit<9>>(64) mac_port;
+    apply {
+        hash(meta.src_bucket, hdr.ethernet.srcAddr);
+        mac_key.write(meta.src_bucket, hdr.ethernet.srcAddr);
+        mac_port.write(meta.src_bucket, smeta.ingress_port);
+        hash(meta.dst_bucket, hdr.ethernet.dstAddr);
+        mac_key.read(meta.stored_key, meta.dst_bucket);
+        mac_port.read(meta.out_port, meta.dst_bucket);
+        if (meta.stored_key == hdr.ethernet.dstAddr) {
+            smeta.egress_spec = meta.out_port;
+        } else {
+            smeta.egress_spec = 9w3;
+        }
+    }
+}
+
+control MyDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+NdpSwitch(MyParser(), MyIngress(), MyDeparser()) main;
+)P4";
+    return src;
+}
+
 std::vector<Sample> all_samples() {
     return {
         {"passthrough", passthrough()},
@@ -841,6 +1162,10 @@ std::vector<Sample> all_samples() {
         {"wide_match", wide_match()},
         {"shift_mangler", shift_mangler()},
         {"meta_echo", meta_echo()},
+        {"nat_gateway", nat_gateway()},
+        {"flow_firewall", flow_firewall()},
+        {"maglev_lb", maglev_lb()},
+        {"learning_bridge", learning_bridge()},
     };
 }
 

@@ -61,6 +61,30 @@ std::string_view shift_mangler();
 // targets emit zeros, targets that skip metadata zeroing emit garbage.
 std::string_view meta_echo();
 
+// --- Stateful network functions (per-flow state at production flow counts).
+// All four age or key per-flow register state, so they expose the
+// state-quirk family (stale_entry, expiry_off_by_one,
+// hash_collision_misdirect) that stateless catalogue entries cannot.
+
+// Source NAT: static mappings via table, dynamic mappings via a
+// hash-indexed register pair (translation key + last-seen stamp) with a
+// 64us idle timeout.  Collisions on an unexpired foreign entry drop.
+std::string_view nat_gateway();
+
+// Stateful firewall: outbound packets (per an internal-hosts table) open a
+// flow entry; inbound packets pass only while a matching entry is younger
+// than 128us.  Flow key is srcAddr^dstAddr so both directions share a cell.
+std::string_view flow_firewall();
+
+// Maglev-style load balancer: exact-match VIP table, 5-tuple hash into a
+// 64-bucket backend map populated by control-plane register writes, with a
+// per-bucket hit counter.  Unpopulated buckets drop.
+std::string_view maglev_lb();
+
+// L2 learning bridge: learns srcAddr->ingress_port in hash-indexed
+// registers, forwards on dstAddr lookup hit, floods (port 3) on miss.
+std::string_view learning_bridge();
+
 struct Sample {
     std::string name;
     std::string_view source;

@@ -19,6 +19,12 @@ dataplane::Quirks sdnet_quirks() {
     q.shift_miscompile = true;
     // TCAM priority encoder wired backwards: lowest priority wins.
     q.ternary_priority_inverted = true;
+    // State-quirk family: the stateful pipeline never refreshes occupied
+    // register cells, latches the aging clock at half resolution, and
+    // truncates the hash unit to 3 result bits (8 buckets).
+    q.stale_entry = true;
+    q.expiry_off_by_one = true;
+    q.hash_collision_misdirect = 3;
     return q;
 }
 

@@ -39,6 +39,7 @@ SimDevice::SimDevice(DeviceConfig config) : config_(std::move(config)) {
 }
 
 Status SimDevice::load(const p4::ir::Program& prog) {
+    ++generation_;  // invalidates every handle issued against the old image
     prog_ = std::make_unique<p4::ir::Program>(prog.clone());
     tables_ = std::make_unique<dataplane::TableSet>(
         *prog_, config_.quirks.table_size_clamp,
@@ -164,17 +165,74 @@ void SimDevice::set_digests_enabled(bool on) {
 
 // --- management plane ---------------------------------------------------------
 
-Status SimDevice::resolve_table(const std::string& table, int& id) const {
+control::TableHandle SimDevice::resolve_table(const std::string& name) {
+    control::TableHandle h;
+    h.name = name;
+    if (!prog_) return h;
+    if (const p4::ir::Table* t = prog_->table_by_name(name)) {
+        h.id = t->id;
+        h.generation = generation_;
+    }
+    return h;
+}
+
+control::ExternHandle SimDevice::resolve_extern(const std::string& name) {
+    control::ExternHandle h;
+    h.name = name;
+    if (!prog_) return h;
+    if (const p4::ir::ExternDecl* e = prog_->extern_by_name(name)) {
+        h.id = e->id;
+        h.generation = generation_;
+    }
+    return h;
+}
+
+Status SimDevice::check_table(const control::TableHandle& handle,
+                              const p4::ir::Table*& out) const {
     if (!prog_) return Status::failure("no program loaded");
-    const p4::ir::Table* t = prog_->table_by_name(table);
-    if (!t) return Status::failure("unknown table '" + table + "'");
-    id = t->id;
+    if (!handle.valid()) {
+        // Name-only handle (a backend-agnostic caller, or resolution against
+        // an unloaded device): one fresh lookup, same errors as ever.
+        const p4::ir::Table* t = prog_->table_by_name(handle.name);
+        if (!t) return Status::failure("unknown table '" + handle.name + "'");
+        out = t;
+        return Status::success();
+    }
+    if (handle.generation != generation_) {
+        return Status::failure("stale table handle '" + handle.name +
+                               "': device image reloaded since resolve");
+    }
+    if (static_cast<std::size_t>(handle.id) >= prog_->tables.size()) {
+        return Status::failure("invalid table handle '" + handle.name + "'");
+    }
+    out = &prog_->tables[static_cast<std::size_t>(handle.id)];
     return Status::success();
 }
 
-Status SimDevice::resolve_extern(const std::string& name,
-                                 p4::ir::ExternDecl::Kind kind,
-                                 const p4::ir::ExternDecl*& out) const {
+Status SimDevice::check_extern(const control::ExternHandle& handle,
+                               p4::ir::ExternDecl::Kind kind,
+                               const p4::ir::ExternDecl*& out) const {
+    if (!prog_) return Status::failure("no program loaded");
+    if (!handle.valid()) return resolve_extern_decl(handle.name, kind, out);
+    if (handle.generation != generation_) {
+        return Status::failure("stale extern handle '" + handle.name +
+                               "': device image reloaded since resolve");
+    }
+    for (const p4::ir::ExternDecl& e : prog_->externs) {
+        if (e.id != handle.id) continue;
+        if (e.kind != kind) {
+            return Status::failure("extern '" + handle.name +
+                                   "' has the wrong kind");
+        }
+        out = &e;
+        return Status::success();
+    }
+    return Status::failure("invalid extern handle '" + handle.name + "'");
+}
+
+Status SimDevice::resolve_extern_decl(const std::string& name,
+                                      p4::ir::ExternDecl::Kind kind,
+                                      const p4::ir::ExternDecl*& out) const {
     if (!prog_) return Status::failure("no program loaded");
     const p4::ir::ExternDecl* e = prog_->extern_by_name(name);
     if (!e) return Status::failure("unknown extern '" + name + "'");
@@ -251,100 +309,115 @@ Status SimDevice::resolve_action(const p4::ir::Table& table,
     return Status::success();
 }
 
-Status SimDevice::add_entry(const std::string& table,
+Status SimDevice::add_entry(const control::TableHandle& table,
                             const control::EntrySpec& entry) {
-    int id = -1;
-    if (Status s = resolve_table(table, id); !s) return s;
+    const p4::ir::Table* t = nullptr;
+    if (Status s = check_table(table, t); !s) return s;
     if (entry.action.empty()) {
         return Status::failure("add_entry requires an action");
     }
     dataplane::TableEntry translated;
-    if (Status s = translate_entry(prog_->tables[static_cast<std::size_t>(id)],
-                                   entry, translated);
-        !s) {
-        return s;
-    }
-    const dataplane::InsertStatus result = tables_->insert(id, translated);
+    if (Status s = translate_entry(*t, entry, translated); !s) return s;
+    const dataplane::InsertStatus result = tables_->insert(t->id, translated);
     if (result != dataplane::InsertStatus::ok) {
         return Status::failure(util::format("insert into '%s' failed: %s",
-                                            table.c_str(),
+                                            t->name.c_str(),
                                             dataplane::insert_status_name(result)));
     }
     return Status::success();
 }
 
-Status SimDevice::delete_entry(const std::string& table,
+Status SimDevice::delete_entry(const control::TableHandle& table,
                                const control::EntrySpec& entry) {
-    int id = -1;
-    if (Status s = resolve_table(table, id); !s) return s;
+    const p4::ir::Table* t = nullptr;
+    if (Status s = check_table(table, t); !s) return s;
     dataplane::TableEntry translated;
-    if (Status s = translate_entry(prog_->tables[static_cast<std::size_t>(id)],
-                                   entry, translated);
-        !s) {
-        return s;
-    }
-    if (!tables_->erase(id, translated)) {
-        return Status::failure("no such entry in '" + table + "'");
+    if (Status s = translate_entry(*t, entry, translated); !s) return s;
+    if (!tables_->erase(t->id, translated)) {
+        return Status::failure("no such entry in '" + t->name + "'");
     }
     return Status::success();
 }
 
-Status SimDevice::set_default_action(const std::string& table,
+Status SimDevice::set_default_action(const control::TableHandle& table,
                                      const std::string& action,
                                      const std::vector<Bitvec>& args) {
-    int id = -1;
-    if (Status s = resolve_table(table, id); !s) return s;
+    const p4::ir::Table* t = nullptr;
+    if (Status s = check_table(table, t); !s) return s;
     dataplane::ActionEntry entry;
-    if (Status s = resolve_action(prog_->tables[static_cast<std::size_t>(id)],
-                                  action, args, entry);
-        !s) {
-        return s;
-    }
-    tables_->set_default_action(id, std::move(entry));
+    if (Status s = resolve_action(*t, action, args, entry); !s) return s;
+    tables_->set_default_action(t->id, std::move(entry));
     return Status::success();
 }
 
-Status SimDevice::clear_table(const std::string& table) {
-    int id = -1;
-    if (Status s = resolve_table(table, id); !s) return s;
-    tables_->clear(id);
-    return Status::success();
-}
-
-Status SimDevice::write_register(const std::string& name, std::uint64_t index,
-                                 const Bitvec& value) {
+Status SimDevice::write_register(const control::ExternHandle& ext,
+                                 std::uint64_t index, const Bitvec& value) {
     const p4::ir::ExternDecl* e = nullptr;
-    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::reg, e); !s) {
+    if (Status s = check_extern(ext, p4::ir::ExternDecl::Kind::reg, e); !s) {
         return s;
     }
     if (index >= static_cast<std::uint64_t>(e->array_size)) {
         return Status::failure(util::format("register '%s': index %llu out of range",
-                                            name.c_str(),
+                                            e->name.c_str(),
                                             static_cast<unsigned long long>(index)));
     }
     stateful_->register_write(e->id, index, value);
     return Status::success();
 }
 
-Status SimDevice::read_register(const std::string& name, std::uint64_t index,
-                                Bitvec& out) {
+Status SimDevice::read_register(const control::ExternHandle& ext,
+                                std::uint64_t index, Bitvec& out) {
     const p4::ir::ExternDecl* e = nullptr;
-    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::reg, e); !s) {
+    if (Status s = check_extern(ext, p4::ir::ExternDecl::Kind::reg, e); !s) {
         return s;
     }
     if (index >= static_cast<std::uint64_t>(e->array_size)) {
         return Status::failure(util::format("register '%s': index %llu out of range",
-                                            name.c_str(),
+                                            e->name.c_str(),
                                             static_cast<unsigned long long>(index)));
     }
     out = stateful_->register_read(e->id, index);
     return Status::success();
 }
 
+Status SimDevice::add_entry(const std::string& table,
+                            const control::EntrySpec& entry) {
+    return add_entry(resolve_table(table), entry);
+}
+
+Status SimDevice::delete_entry(const std::string& table,
+                               const control::EntrySpec& entry) {
+    return delete_entry(resolve_table(table), entry);
+}
+
+Status SimDevice::set_default_action(const std::string& table,
+                                     const std::string& action,
+                                     const std::vector<Bitvec>& args) {
+    return set_default_action(resolve_table(table), action, args);
+}
+
+Status SimDevice::clear_table(const std::string& table) {
+    const p4::ir::Table* t = nullptr;
+    if (Status s = check_table(resolve_table(table), t); !s) return s;
+    tables_->clear(t->id);
+    return Status::success();
+}
+
+Status SimDevice::write_register(const std::string& name, std::uint64_t index,
+                                 const Bitvec& value) {
+    return write_register(resolve_extern(name), index, value);
+}
+
+Status SimDevice::read_register(const std::string& name, std::uint64_t index,
+                                Bitvec& out) {
+    return read_register(resolve_extern(name), index, out);
+}
+
 Status SimDevice::read_counter(const std::string& name, std::uint64_t index,
                                control::CounterValue& out) {
     const p4::ir::ExternDecl* e = nullptr;
-    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::counter, e); !s) {
+    if (Status s = resolve_extern_decl(name, p4::ir::ExternDecl::Kind::counter, e);
+        !s) {
         return s;
     }
     if (index >= static_cast<std::uint64_t>(e->array_size)) {
@@ -360,7 +433,8 @@ Status SimDevice::read_counter(const std::string& name, std::uint64_t index,
 Status SimDevice::configure_meter(const std::string& name, std::uint64_t index,
                                   const control::MeterConfig& config) {
     const p4::ir::ExternDecl* e = nullptr;
-    if (Status s = resolve_extern(name, p4::ir::ExternDecl::Kind::meter, e); !s) {
+    if (Status s = resolve_extern_decl(name, p4::ir::ExternDecl::Kind::meter, e);
+        !s) {
         return s;
     }
     if (index >= static_cast<std::uint64_t>(e->array_size)) {
@@ -392,6 +466,17 @@ control::StatusSnapshot SimDevice::snapshot() {
             snap.tables.push_back(std::move(status));
         }
     }
+    if (stateful_) {
+        for (auto& inf : stateful_->info()) {
+            control::ExternStatus status;
+            status.name = std::move(inf.name);
+            status.kind = std::move(inf.kind);
+            status.cells = inf.cells;
+            status.state_hash = inf.state_hash;
+            status.unconfigured_meters = inf.unconfigured_meters;
+            snap.externs.push_back(std::move(status));
+        }
+    }
     return snap;
 }
 
@@ -399,7 +484,7 @@ Status SimDevice::reset_state() {
     clear_dynamic_state();
     if (pipeline_) pipeline_->reset_counters();
     if (tables_) tables_->reset_stats();
-    if (stateful_) stateful_->reset();
+    if (stateful_) stateful_->reset_state();
     return Status::success();
 }
 

@@ -56,7 +56,27 @@ public:
     dataplane::Engine engine() const override { return config_.engine; }
     std::uint64_t now_ns() const override { return clock_ns_; }
 
-    // control::RuntimeApi.
+    // control::RuntimeApi -- resolution.  Handles carry the device's image
+    // generation; load() bumps it, so handles resolved against a previous
+    // image fail loudly instead of addressing whatever reused the id.
+    control::TableHandle resolve_table(const std::string& name) override;
+    control::ExternHandle resolve_extern(const std::string& name) override;
+
+    // control::RuntimeApi -- handle-addressed (the resolution-free paths).
+    control::Status add_entry(const control::TableHandle& table,
+                              const control::EntrySpec& entry) override;
+    control::Status delete_entry(const control::TableHandle& table,
+                                 const control::EntrySpec& entry) override;
+    control::Status set_default_action(const control::TableHandle& table,
+                                       const std::string& action,
+                                       const std::vector<Bitvec>& args) override;
+    control::Status write_register(const control::ExternHandle& ext,
+                                   std::uint64_t index,
+                                   const Bitvec& value) override;
+    control::Status read_register(const control::ExternHandle& ext,
+                                  std::uint64_t index, Bitvec& out) override;
+
+    // control::RuntimeApi -- string-addressed (resolve-then-delegate shims).
     control::Status add_entry(const std::string& table,
                               const control::EntrySpec& entry) override;
     control::Status delete_entry(const std::string& table,
@@ -80,12 +100,18 @@ public:
     control::Status reset_state() override;
 
 private:
-    // Resolves `table` to its id or fails with a uniform message.
-    control::Status resolve_table(const std::string& table, int& id) const;
-    // Resolves an extern of the given kind.
-    control::Status resolve_extern(const std::string& name,
-                                   p4::ir::ExternDecl::Kind kind,
-                                   const p4::ir::ExternDecl*& out) const;
+    // Validates a table handle (generation + range), falling back to name
+    // resolution for handles from backends without id support.
+    control::Status check_table(const control::TableHandle& handle,
+                                const p4::ir::Table*& out) const;
+    // Same for an extern handle, additionally checking the extern kind.
+    control::Status check_extern(const control::ExternHandle& handle,
+                                 p4::ir::ExternDecl::Kind kind,
+                                 const p4::ir::ExternDecl*& out) const;
+    // Resolves an extern of the given kind by name.
+    control::Status resolve_extern_decl(const std::string& name,
+                                        p4::ir::ExternDecl::Kind kind,
+                                        const p4::ir::ExternDecl*& out) const;
     // Maps a control-plane EntrySpec onto the table's engine entry.
     control::Status translate_entry(const p4::ir::Table& table,
                                     const control::EntrySpec& entry,
@@ -125,6 +151,9 @@ private:
     std::uint64_t cov_salt_ = 0;
 
     std::uint64_t clock_ns_ = 0;
+
+    // Bumped by every load(): the validity epoch of issued handles.
+    std::uint64_t generation_ = 0;
 };
 
 }  // namespace ndb::target

@@ -82,6 +82,44 @@ inline FlagFixture seven_flag_fixture() {
     return fx;
 }
 
+// One single-quirk DUT per state-class quirk, paired with the stateful NF
+// program whose register/extern traffic makes it observable.  The programs
+// list carries all four NF shapes so every DUT also sweeps flows it should
+// stay silent on.
+inline FlagFixture state_quirk_fixture() {
+    using ndb::core::BackendSpec;
+    using ndb::dataplane::Quirks;
+    FlagFixture fx;
+    const auto add = [&fx](const std::string& label, Quirks q,
+                           const std::string& program) {
+        fx.duts.push_back(BackendSpec{"sdnet", q, label});
+        if (std::find(fx.programs.begin(), fx.programs.end(), program) ==
+            fx.programs.end()) {
+            fx.programs.push_back(program);
+        }
+    };
+    {
+        Quirks q;
+        q.stale_entry = true;
+        add("stale_entry", q, "flow_firewall");
+    }
+    {
+        Quirks q;
+        q.expiry_off_by_one = true;
+        add("expiry_off_by_one", q, "nat_gateway");
+    }
+    {
+        Quirks q;
+        q.hash_collision_misdirect = 3;
+        add("hash_collision_misdirect", q, "maglev_lb");
+    }
+    if (std::find(fx.programs.begin(), fx.programs.end(), "learning_bridge") ==
+        fx.programs.end()) {
+        fx.programs.push_back("learning_bridge");
+    }
+    return fx;
+}
+
 // Scenario budget a report needed before every one of the seven flags had
 // produced at least one fingerprint (max over flags of the first discovery
 // ordinal); 0 when a flag was never found.

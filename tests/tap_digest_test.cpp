@@ -82,6 +82,9 @@ dataplane::Quirks parse_signature(const std::string& signature) {
         else if (key == "table_size_clamp") q.table_size_clamp = value;
         else if (key == "ternary_priority_inverted") q.ternary_priority_inverted = true;
         else if (key == "metadata_clobber") q.metadata_clobber = true;
+        else if (key == "stale_entry") q.stale_entry = true;
+        else if (key == "expiry_off_by_one") q.expiry_off_by_one = true;
+        else if (key == "hash_collision_misdirect") q.hash_collision_misdirect = value;
         else ADD_FAILURE() << "unknown quirk in corpus signature: " << key;
         if (plus == std::string::npos) break;
         start = plus + 1;

@@ -65,8 +65,39 @@ MeterConfig random_meter(util::Rng& rng) {
     return m;
 }
 
+ConfigOp random_config_op(util::Rng& rng) {
+    ConfigOp op;
+    op.target = random_name(rng);
+    switch (rng.next_below(4)) {
+        case 0:
+            op.kind = ConfigOp::Kind::add_entry;
+            op.entry = random_entry(rng);
+            break;
+        case 1: {
+            op.kind = ConfigOp::Kind::set_default_action;
+            op.action = random_name(rng);
+            const std::size_t args = rng.next_below(3);
+            for (std::size_t i = 0; i < args; ++i) {
+                op.action_args.push_back(random_bitvec(rng));
+            }
+            break;
+        }
+        case 2:
+            op.kind = ConfigOp::Kind::write_register;
+            op.index = rng.next_below(64);
+            op.value = random_bitvec(rng);
+            break;
+        default:
+            op.kind = ConfigOp::Kind::configure_meter;
+            op.index = rng.next_below(64);
+            op.meter = random_meter(rng);
+            break;
+    }
+    return op;
+}
+
 Request random_request(util::Rng& rng) {
-    switch (rng.next_below(10)) {
+    switch (rng.next_below(11)) {
         case 0: return AddEntryReq{random_name(rng), random_entry(rng)};
         case 1: return DeleteEntryReq{random_name(rng), random_entry(rng)};
         case 2: {
@@ -89,6 +120,14 @@ Request random_request(util::Rng& rng) {
             return ConfigureMeterReq{random_name(rng), rng.next_below(64),
                                      random_meter(rng)};
         case 8: return SnapshotReq{};
+        case 9: {
+            ApplyConfigReq r;
+            const std::size_t ops = rng.next_below(6);
+            for (std::size_t i = 0; i < ops; ++i) {
+                r.ops.push_back(random_config_op(rng));
+            }
+            return r;
+        }
         default: return ResetReq{};
     }
 }
@@ -114,6 +153,13 @@ StatusSnapshot random_snapshot(util::Rng& rng) {
         s.tables.push_back({random_name(rng), rng.next_below(100),
                             rng.next_below(100), rng.next_below(100),
                             rng.next_below(100)});
+    }
+    static const char* kKinds[] = {"register", "counter", "meter"};
+    const std::size_t externs = rng.next_below(3);
+    for (std::size_t i = 0; i < externs; ++i) {
+        s.externs.push_back({random_name(rng), kKinds[rng.next_below(3)],
+                             rng.next_below(64), rng.next_u64(),
+                             rng.next_below(4)});
     }
     return s;
 }
@@ -167,6 +213,35 @@ void expect_request_eq(const Request& a, const Request& b) {
         EXPECT_EQ(x8->config.committed_burst, y.config.committed_burst);
         EXPECT_EQ(x8->config.excess_rate_bps, y.config.excess_rate_bps);
         EXPECT_EQ(x8->config.excess_burst, y.config.excess_burst);
+    } else if (const auto* x9 = std::get_if<ApplyConfigReq>(&a)) {
+        const auto& y = std::get<ApplyConfigReq>(b);
+        ASSERT_EQ(x9->ops.size(), y.ops.size());
+        for (std::size_t i = 0; i < x9->ops.size(); ++i) {
+            const ConfigOp& p = x9->ops[i];
+            const ConfigOp& q = y.ops[i];
+            ASSERT_EQ(p.kind, q.kind);
+            EXPECT_EQ(p.target, q.target);
+            switch (p.kind) {
+                case ConfigOp::Kind::add_entry:
+                    expect_entry_eq(p.entry, q.entry);
+                    break;
+                case ConfigOp::Kind::set_default_action:
+                    EXPECT_EQ(p.action, q.action);
+                    EXPECT_EQ(p.action_args, q.action_args);
+                    break;
+                case ConfigOp::Kind::write_register:
+                    EXPECT_EQ(p.index, q.index);
+                    EXPECT_EQ(p.value, q.value);
+                    break;
+                case ConfigOp::Kind::configure_meter:
+                    EXPECT_EQ(p.index, q.index);
+                    EXPECT_EQ(p.meter.committed_rate_bps, q.meter.committed_rate_bps);
+                    EXPECT_EQ(p.meter.committed_burst, q.meter.committed_burst);
+                    EXPECT_EQ(p.meter.excess_rate_bps, q.meter.excess_rate_bps);
+                    EXPECT_EQ(p.meter.excess_burst, q.meter.excess_burst);
+                    break;
+            }
+        }
     }
 }
 
@@ -193,6 +268,14 @@ void expect_snapshot_eq(const StatusSnapshot& a, const StatusSnapshot& b) {
         EXPECT_EQ(a.tables[i].entries, b.tables[i].entries);
         EXPECT_EQ(a.tables[i].capacity, b.tables[i].capacity);
     }
+    ASSERT_EQ(a.externs.size(), b.externs.size());
+    for (std::size_t i = 0; i < a.externs.size(); ++i) {
+        EXPECT_EQ(a.externs[i].name, b.externs[i].name);
+        EXPECT_EQ(a.externs[i].kind, b.externs[i].kind);
+        EXPECT_EQ(a.externs[i].cells, b.externs[i].cells);
+        EXPECT_EQ(a.externs[i].state_hash, b.externs[i].state_hash);
+        EXPECT_EQ(a.externs[i].unconfigured_meters, b.externs[i].unconfigured_meters);
+    }
 }
 
 // --- round trips --------------------------------------------------------------
@@ -216,7 +299,7 @@ TEST(WireCodec, ResponseRoundTripEveryPayloadKind) {
         r.status = rng.next_bool() ? Status::success()
                                    : Status::failure("injected failure #" +
                                                      std::to_string(iter));
-        switch (rng.next_below(4)) {
+        switch (rng.next_below(5)) {
             case 0: r.payload = Response::Payload::none; break;
             case 1:
                 r.payload = Response::Payload::register_value;
@@ -226,6 +309,17 @@ TEST(WireCodec, ResponseRoundTripEveryPayloadKind) {
                 r.payload = Response::Payload::counter_value;
                 r.counter_value = {rng.next_u64(), rng.next_u64()};
                 break;
+            case 3: {
+                r.payload = Response::Payload::op_statuses;
+                const std::size_t n = rng.next_below(5);
+                for (std::size_t i = 0; i < n; ++i) {
+                    r.op_statuses.push_back(
+                        rng.next_bool() ? Status::success()
+                                        : Status::failure("op failed #" +
+                                                          std::to_string(i)));
+                }
+                break;
+            }
             default:
                 r.payload = Response::Payload::snapshot;
                 r.snapshot = random_snapshot(rng);
@@ -248,6 +342,14 @@ TEST(WireCodec, ResponseRoundTripEveryPayloadKind) {
                 break;
             case Response::Payload::snapshot:
                 expect_snapshot_eq(r.snapshot, back.snapshot);
+                break;
+            case Response::Payload::op_statuses:
+                ASSERT_EQ(r.op_statuses.size(), back.op_statuses.size());
+                for (std::size_t i = 0; i < r.op_statuses.size(); ++i) {
+                    EXPECT_EQ(r.op_statuses[i].ok, back.op_statuses[i].ok);
+                    EXPECT_EQ(r.op_statuses[i].message,
+                              back.op_statuses[i].message);
+                }
                 break;
             case Response::Payload::none:
                 break;

@@ -95,7 +95,7 @@ ProgramBench bench_program(const std::string& name, std::uint64_t target_packets
     }
     dev->set_engine(engine);
     dev->set_coverage(coverage);
-    for (const auto& op : sc.config) ndb::core::apply_config_op(*dev, op);
+    dev->apply(sc.config);
 
     ndb::core::TestPacketGenerator pgen(sc.spec);
     std::vector<ndb::packet::Packet> stream;
@@ -547,6 +547,43 @@ int main(int argc, char** argv) {
                              "than 30%% (%.0f < %.0f)\n",
                              pipeline_pps_interp, interp_floor);
                 return 1;
+            }
+        }
+        // Per-program absolute floors (both engines).  The baseline carries
+        // a floor_<program>_pps[_interp] key for programs whose throughput
+        // CI tracks individually -- the stateful NFs, whose register traffic
+        // makes them the slowest rows in the sweep.
+        for (const auto& row : programs) {
+            double prog_floor = 0;
+            if (json_number(doc, "floor_" + row.compiled.name + "_pps",
+                            prog_floor) &&
+                prog_floor > 0) {
+                std::printf("baseline gate: %s %.0f pkts/sec vs floor %.0f\n",
+                            row.compiled.name.c_str(), row.compiled.pps,
+                            prog_floor);
+                if (row.compiled.pps < prog_floor) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s compiled packets/sec below floor "
+                                 "(%.0f < %.0f)\n",
+                                 row.compiled.name.c_str(), row.compiled.pps,
+                                 prog_floor);
+                    return 1;
+                }
+            }
+            if (json_number(doc, "floor_" + row.compiled.name + "_pps_interp",
+                            prog_floor) &&
+                prog_floor > 0) {
+                std::printf(
+                    "baseline gate: %s %.0f interp pkts/sec vs floor %.0f\n",
+                    row.compiled.name.c_str(), row.interp.pps, prog_floor);
+                if (row.interp.pps < prog_floor) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s interpreter packets/sec below floor "
+                                 "(%.0f < %.0f)\n",
+                                 row.compiled.name.c_str(), row.interp.pps,
+                                 prog_floor);
+                    return 1;
+                }
             }
         }
     }
